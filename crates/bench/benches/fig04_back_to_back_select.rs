@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 4: fused vs unfused back-to-back SELECTs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kw_bench::experiments::{device, fig04::select_chain, SEED};
+use kw_core::WeaverConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04");
+    group.sample_size(10);
+    let n = 1 << 15;
+    for depth in [2usize, 3] {
+        let w = select_chain(n, depth, SEED);
+        group.bench_with_input(BenchmarkId::new("fused", depth), &w, |b, w| {
+            b.iter(|| {
+                let mut dev = device();
+                w.run(&mut dev, &WeaverConfig::default()).unwrap().gpu_seconds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", depth), &w, |b, w| {
+            b.iter(|| {
+                let mut dev = device();
+                w.run(&mut dev, &WeaverConfig::default().baseline())
+                    .unwrap()
+                    .gpu_seconds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 16: per-pattern fused vs unfused execution,
+//! resident mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kw_bench::experiments::{device, SEED};
+use kw_core::WeaverConfig;
+use kw_tpch::Pattern;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(10);
+    for p in Pattern::all() {
+        let w = p.build(1 << 14, SEED);
+        group.bench_with_input(BenchmarkId::new("fused", p.label()), &w, |b, w| {
+            b.iter(|| {
+                let mut dev = device();
+                w.run(&mut dev, &WeaverConfig::default()).unwrap().gpu_seconds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", p.label()), &w, |b, w| {
+            b.iter(|| {
+                let mut dev = device();
+                w.run(&mut dev, &WeaverConfig::default().baseline())
+                    .unwrap()
+                    .gpu_seconds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 19: O0 vs O3 across fusion settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kw_bench::experiments::{device, SEED};
+use kw_core::WeaverConfig;
+use kw_kernel_ir::OptLevel;
+use kw_tpch::Pattern;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19");
+    group.sample_size(10);
+    let w = Pattern::A.build(1 << 14, SEED);
+    for (name, fusion, opt) in [
+        ("unfused-O0", false, OptLevel::O0),
+        ("unfused-O3", false, OptLevel::O3),
+        ("fused-O0", true, OptLevel::O0),
+        ("fused-O3", true, OptLevel::O3),
+    ] {
+        let config = WeaverConfig {
+            fusion,
+            opt,
+            ..WeaverConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            b.iter(|| {
+                let mut dev = device();
+                w.run(&mut dev, &config).unwrap().gpu_seconds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

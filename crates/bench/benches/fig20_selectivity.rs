@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 20: selectivity sweep of two fused SELECTs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kw_bench::experiments::{device, fig20::two_selects, SEED};
+use kw_core::WeaverConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig20");
+    group.sample_size(10);
+    for s in [0.1, 0.5, 0.9] {
+        let w = two_selects(1 << 14, s, SEED);
+        group.bench_with_input(BenchmarkId::new("fused", s), &w, |b, w| {
+            b.iter(|| {
+                let mut dev = device();
+                w.run(&mut dev, &WeaverConfig::default()).unwrap().gpu_seconds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", s), &w, |b, w| {
+            b.iter(|| {
+                let mut dev = device();
+                w.run(&mut dev, &WeaverConfig::default().baseline())
+                    .unwrap()
+                    .gpu_seconds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Section 5.2: TPC-H Q1 and Q21, fused vs baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kw_bench::experiments::{device, SEED};
+use kw_core::WeaverConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpch");
+    group.sample_size(10);
+    for (name, w) in [("q1", kw_tpch::q1(2.0, SEED)), ("q21", kw_tpch::q21(2.0, SEED))] {
+        group.bench_with_input(BenchmarkId::new("fused", name), &w, |b, w| {
+            b.iter(|| {
+                let mut dev = device();
+                w.run(&mut dev, &WeaverConfig::default()).unwrap().gpu_seconds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", name), &w, |b, w| {
+            b.iter(|| {
+                let mut dev = device();
+                w.run(&mut dev, &WeaverConfig::default().baseline())
+                    .unwrap()
+                    .gpu_seconds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! * **Resource budget (Algorithm 2)** — shrinking the shared-memory budget
+//!   splits CTA-dependent fusion chains and erodes the speedup.
+//! * **Input-dependence extension** — turning it off removes pattern (d)'s
+//!   (modest) gains entirely.
+//! * **CTA size** — the paper fixes one launch shape for all fusion
+//!   candidates after sweeping configurations; the sweep shows why a
+//!   mid-size CTA wins.
+
+use kw_core::{ExecMode, ResourceBudget, WeaverConfig};
+use kw_tpch::Pattern;
+
+use super::{device, DEFAULT_N, SEED};
+
+/// One point of the shared-memory budget ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetRow {
+    /// Shared-memory budget per CTA, bytes.
+    pub shared_budget: u32,
+    /// Fusion sets chosen for pattern (c).
+    pub fusion_sets: usize,
+    /// GPU speedup over the unfused baseline.
+    pub speedup: f64,
+}
+
+/// Sweep the Algorithm-2 shared budget on pattern (c).
+pub fn budget_sweep(budgets: &[u32]) -> Vec<BudgetRow> {
+    let w = Pattern::C.build(DEFAULT_N, SEED);
+    let mut base_dev = device();
+    let base = w
+        .run(&mut base_dev, &WeaverConfig::default().baseline())
+        .expect("baseline");
+    budgets
+        .iter()
+        .map(|&shared_budget| {
+            let config = WeaverConfig {
+                budget: ResourceBudget {
+                    max_registers_per_thread: 63,
+                    max_shared_per_cta: shared_budget,
+                },
+                ..WeaverConfig::default()
+            };
+            let mut dev = device();
+            let fused = w.run(&mut dev, &config).expect("budgeted run");
+            BudgetRow {
+                shared_budget,
+                fusion_sets: fused.fusion_sets.len(),
+                speedup: base.gpu_seconds / fused.gpu_seconds,
+            }
+        })
+        .collect()
+}
+
+/// Pattern (d) with and without the input-dependence extension:
+/// `(with, without)` GPU speedups.
+pub fn input_dependence_ablation() -> (f64, f64) {
+    let w = Pattern::D.build(DEFAULT_N, SEED);
+    let mut base_dev = device();
+    let base = w
+        .run(&mut base_dev, &WeaverConfig::default().baseline())
+        .expect("baseline");
+
+    let mut on_dev = device();
+    let on = w
+        .run(&mut on_dev, &WeaverConfig::default())
+        .expect("extension on");
+
+    let off_cfg = WeaverConfig {
+        input_dependence: false,
+        ..WeaverConfig::default()
+    };
+    let mut off_dev = device();
+    let off = w.run(&mut off_dev, &off_cfg).expect("extension off");
+
+    (
+        base.gpu_seconds / on.gpu_seconds,
+        base.gpu_seconds / off.gpu_seconds,
+    )
+}
+
+/// What the O3 pipeline did to each fused pattern (optimizer-scope
+/// introspection for the Figure 19 narrative).
+pub fn optimizer_pass_stats() -> Vec<(Pattern, kw_kernel_ir::PassStats)> {
+    Pattern::all()
+        .into_iter()
+        .map(|pattern| {
+            let w = pattern.build(1_024, SEED);
+            let compiled =
+                kw_core::compile(&w.plan, &WeaverConfig::default().baseline()).expect("compile");
+            let _ = compiled;
+            // Re-weave the fused kernel and collect its pass statistics.
+            let groups = kw_core::find_candidates(&w.plan, kw_core::FusionOptions::default());
+            let sets = kw_core::select_fusions(
+                &w.plan,
+                &groups[0],
+                kw_core::ResourceBudget::default(),
+                kw_kernel_ir::DEFAULT_THREADS_PER_CTA,
+            )
+            .expect("selection");
+            let woven = kw_core::weave(
+                &w.plan,
+                &sets[0],
+                kw_kernel_ir::DEFAULT_THREADS_PER_CTA,
+            )
+            .expect("weave");
+            let (_, stats) =
+                kw_kernel_ir::optimize(&woven.op, kw_kernel_ir::OptLevel::O3).expect("optimize");
+            (pattern, stats)
+        })
+        .collect()
+}
+
+/// One point of the CTA-size sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct CtaRow {
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+    /// Fused GPU seconds for pattern (a).
+    pub gpu_seconds: f64,
+}
+
+/// Sweep threads/CTA for fused pattern (a), resident mode.
+pub fn cta_sweep(sizes: &[u32]) -> Vec<CtaRow> {
+    let w = Pattern::A.build(DEFAULT_N, SEED);
+    sizes
+        .iter()
+        .map(|&threads_per_cta| {
+            let config = WeaverConfig {
+                threads_per_cta,
+                mode: ExecMode::Resident,
+                ..WeaverConfig::default()
+            };
+            let mut dev = device();
+            let r = w.run(&mut dev, &config).expect("cta sweep run");
+            CtaRow {
+                threads_per_cta,
+                gpu_seconds: r.gpu_seconds,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_budget_erodes_speedup() {
+        let rows = budget_sweep(&[4 * 1024, 48 * 1024]);
+        assert!(rows[0].fusion_sets <= rows[1].fusion_sets);
+        assert!(
+            rows[1].speedup > rows[0].speedup,
+            "larger budget should fuse more: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn input_dependence_extension_matters_for_pattern_d() {
+        let (on, off) = input_dependence_ablation();
+        assert!(on > off, "extension should help pattern (d): {on} vs {off}");
+        assert!((off - 1.0).abs() < 0.05, "without it nothing fuses: {off}");
+    }
+
+    #[test]
+    fn cta_sweep_has_an_interior_optimum_or_plateau() {
+        let rows = cta_sweep(&[32, 256, 1024]);
+        let mid = rows[1].gpu_seconds;
+        assert!(
+            mid <= rows[0].gpu_seconds * 1.05,
+            "256 threads should not lose badly to 32: {rows:?}"
+        );
+        assert!(rows.iter().all(|r| r.gpu_seconds > 0.0));
+    }
+}

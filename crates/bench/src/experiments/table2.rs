@@ -1,0 +1,45 @@
+//! Table 2: the experimental infrastructure.
+//!
+//! The paper's testbed is an NVIDIA Tesla C2050 (Fermi) behind PCIe 2.0;
+//! this reproduction substitutes the simulator configured with the same
+//! published parameters.
+
+use kw_gpu_sim::DeviceConfig;
+
+/// Render the simulated infrastructure description.
+pub fn render() -> String {
+    let c = DeviceConfig::fermi_c2050();
+    format!(
+        "GPU:                {}\n\
+         SMs:                {} ({} threads/SM max, {} warps/SM)\n\
+         Registers/SM:       {}\n\
+         Shared memory/SM:   {} KiB\n\
+         Core clock:         {:.2} GHz\n\
+         Global memory:      {} GiB @ {:.0} GB/s\n\
+         PCIe:               {:.0} GB/s, {:.0} us latency\n\
+         Kernel launch:      {} cycles\n",
+        c.name,
+        c.sm_count,
+        c.max_threads_per_sm,
+        c.max_warps_per_sm,
+        c.registers_per_sm,
+        c.shared_mem_per_sm / 1024,
+        c.clock_ghz,
+        c.global_mem_bytes >> 30,
+        c.global_bandwidth_gbs,
+        c.pcie_bandwidth_gbs,
+        c.pcie_latency_us,
+        c.kernel_launch_cycles,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mentions_the_c2050() {
+        let s = super::render();
+        assert!(s.contains("C2050"));
+        assert!(s.contains("14"));
+        assert!(s.contains("48 KiB"));
+    }
+}

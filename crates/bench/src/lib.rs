@@ -1,0 +1,17 @@
+//! Benchmark harness for the Kernel Weaver reproduction.
+//!
+//! Every table and figure of the paper's evaluation has an experiment
+//! module under [`experiments`]; the `paper_tables` binary renders them all
+//! as text, and the Criterion benches under `benches/` time the same
+//! experiment bodies.
+//!
+//! ```bash
+//! cargo run --release -p kw-bench --bin paper_tables                # all sections
+//! cargo run --release -p kw-bench --bin paper_tables -- fig16      # one section
+//! cargo run --release -p kw-bench --bin paper_tables -- --csv out  # also write CSVs
+//! cargo bench -p kw-bench
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,134 @@
+//! Graphviz DOT export of query plans — the RA dependence graph of
+//! Figure 9, with kernel-dependence boundaries and fusion sets marked.
+
+use kw_primitives::{producer_class, DependenceClass};
+
+use crate::{CompiledPlan, NodeId, PlanNode, QueryPlan};
+
+/// Render `plan` as a Graphviz digraph. If `compiled` is given, nodes of
+/// each fusion set are grouped in a cluster (the "large circle bounded by
+/// SORT operators" of Figure 9(b)).
+///
+/// # Examples
+///
+/// ```
+/// use kw_core::{compile, plan_to_dot, QueryPlan, WeaverConfig};
+/// use kw_primitives::RaOp;
+/// use kw_relational::{Predicate, Schema};
+///
+/// let mut plan = QueryPlan::new();
+/// let t = plan.add_input("t", Schema::uniform_u32(2));
+/// let s = plan.add_op(RaOp::Select { pred: Predicate::True }, &[t])?;
+/// plan.mark_output(s);
+/// let compiled = compile(&plan, &WeaverConfig::default())?;
+/// let dot = plan_to_dot(&plan, Some(&compiled));
+/// assert!(dot.starts_with("digraph"));
+/// # Ok::<(), kw_core::WeaverError>(())
+/// ```
+pub fn plan_to_dot(plan: &QueryPlan, compiled: Option<&CompiledPlan>) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("digraph query_plan {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
+
+    let in_set = |n: NodeId| -> Option<usize> {
+        compiled.and_then(|c| c.fusion_sets.iter().position(|set| set.contains(&n)))
+    };
+
+    // Emit fusion-set clusters first.
+    if let Some(c) = compiled {
+        for (i, set) in c.fusion_sets.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  subgraph cluster_fused_{i} {{\n    label=\"fused kernel {i}\";\n    style=dashed;\n    color=blue;"
+            );
+            for &n in set {
+                let _ = writeln!(s, "    {};", node_decl(plan, n));
+            }
+            let _ = writeln!(s, "  }}");
+        }
+    }
+
+    for id in plan.node_ids() {
+        if in_set(id).is_none() {
+            let _ = writeln!(s, "  {};", node_decl(plan, id));
+        }
+        for &p in plan.producers(id) {
+            let _ = writeln!(s, "  n{} -> n{};", p.0, id.0);
+        }
+        if plan.is_output(id) {
+            let _ = writeln!(s, "  n{} -> result_{} [style=dotted];", id.0, id.0);
+            let _ = writeln!(
+                s,
+                "  result_{} [label=\"output\", shape=note];",
+                id.0
+            );
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn node_decl(plan: &QueryPlan, id: NodeId) -> String {
+    match plan.node(id) {
+        PlanNode::Input { name, .. } => {
+            format!("n{} [label=\"{name}\", shape=cylinder]", id.0)
+        }
+        PlanNode::Operator { op, .. } => {
+            let (shape, color) = match producer_class(op) {
+                DependenceClass::Thread => ("box", "green"),
+                DependenceClass::Cta => ("box", "orange"),
+                DependenceClass::Kernel => ("octagon", "red"),
+            };
+            format!(
+                "n{} [label=\"{op}\", shape={shape}, color={color}]",
+                id.0
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, WeaverConfig};
+    use kw_primitives::RaOp;
+    use kw_relational::{Predicate, Schema};
+
+    fn plan() -> QueryPlan {
+        let mut p = QueryPlan::new();
+        let t = p.add_input("t", Schema::uniform_u32(2));
+        let a = p
+            .add_op(RaOp::Select { pred: Predicate::True }, &[t])
+            .unwrap();
+        let s = p.add_op(RaOp::Sort { attrs: vec![1] }, &[a]).unwrap();
+        let b = p
+            .add_op(RaOp::Select { pred: Predicate::True }, &[s])
+            .unwrap();
+        let c = p
+            .add_op(RaOp::Select { pred: Predicate::True }, &[b])
+            .unwrap();
+        p.mark_output(c);
+        p
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_clusters() {
+        let p = plan();
+        let compiled = compile(&p, &WeaverConfig::default()).unwrap();
+        let dot = plan_to_dot(&p, Some(&compiled));
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("cluster_fused_0"));
+        assert!(dot.contains("SORT"));
+        assert!(dot.contains("octagon")); // kernel-dependent marker
+        assert!(dot.contains("->"));
+        assert!(dot.contains("cylinder")); // input
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_without_compilation_has_no_clusters() {
+        let p = plan();
+        let dot = plan_to_dot(&p, None);
+        assert!(!dot.contains("cluster"));
+        assert!(dot.contains("output"));
+    }
+}

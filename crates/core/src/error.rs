@@ -1,0 +1,105 @@
+//! Error type for the Kernel Weaver compiler.
+
+use std::fmt;
+
+/// Errors produced while building, compiling or executing query plans.
+#[derive(Debug)]
+pub enum WeaverError {
+    /// The plan graph is malformed (bad node ids, cycles, missing inputs).
+    Plan {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// An operator was applied to incompatible schemas.
+    Relational(kw_relational::RelationalError),
+    /// Code generation failed.
+    Build(kw_primitives::IrBuildError),
+    /// Generated IR failed validation or execution.
+    Ir(kw_kernel_ir::IrError),
+    /// The simulated device reported an error.
+    Sim(kw_gpu_sim::SimError),
+    /// A plan input binding was missing or mis-typed at execution time.
+    Binding {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl WeaverError {
+    /// Convenience constructor for plan-structure errors.
+    pub fn plan(detail: impl Into<String>) -> WeaverError {
+        WeaverError::Plan {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for input-binding errors.
+    pub fn binding(detail: impl Into<String>) -> WeaverError {
+        WeaverError::Binding {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for WeaverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeaverError::Plan { detail } => write!(f, "invalid query plan: {detail}"),
+            WeaverError::Relational(e) => write!(f, "relational error: {e}"),
+            WeaverError::Build(e) => write!(f, "{e}"),
+            WeaverError::Ir(e) => write!(f, "{e}"),
+            WeaverError::Sim(e) => write!(f, "{e}"),
+            WeaverError::Binding { detail } => write!(f, "input binding error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WeaverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WeaverError::Relational(e) => Some(e),
+            WeaverError::Build(e) => Some(e),
+            WeaverError::Ir(e) => Some(e),
+            WeaverError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kw_relational::RelationalError> for WeaverError {
+    fn from(e: kw_relational::RelationalError) -> Self {
+        WeaverError::Relational(e)
+    }
+}
+
+impl From<kw_primitives::IrBuildError> for WeaverError {
+    fn from(e: kw_primitives::IrBuildError) -> Self {
+        WeaverError::Build(e)
+    }
+}
+
+impl From<kw_kernel_ir::IrError> for WeaverError {
+    fn from(e: kw_kernel_ir::IrError) -> Self {
+        WeaverError::Ir(e)
+    }
+}
+
+impl From<kw_gpu_sim::SimError> for WeaverError {
+    fn from(e: kw_gpu_sim::SimError) -> Self {
+        WeaverError::Sim(e)
+    }
+}
+
+/// Convenience alias for Kernel Weaver results.
+pub type Result<T> = std::result::Result<T, WeaverError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(WeaverError::plan("cycle").to_string().contains("cycle"));
+        assert!(WeaverError::binding("missing x").to_string().contains("x"));
+    }
+}

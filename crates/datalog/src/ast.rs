@@ -1,0 +1,151 @@
+//! Abstract syntax of the Datalog subset.
+//!
+//! The supported language (documented in the crate root):
+//!
+//! ```text
+//! .input t(*u32, u32, f32).        % base relation; '*' marks key attrs
+//! r(K, V)  :- t(K, V, _), V < 10.  % conjunctive rule with comparisons
+//! s(K, V2) :- r(K, V), u(K, W), V2 = V * W.  % join + arithmetic
+//! .output s.
+//! ```
+
+use kw_relational::AttrType;
+
+/// A parsed program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Base-relation declarations.
+    pub inputs: Vec<InputDecl>,
+    /// Rules in source order.
+    pub rules: Vec<Rule>,
+    /// Relations marked `.output`.
+    pub outputs: Vec<String>,
+}
+
+/// `.input name(*ty, ty, ...)` — a base relation; leading `*` attributes
+/// form the key (defaults to the first attribute if none are starred).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputDecl {
+    /// Relation name.
+    pub name: String,
+    /// Attribute types.
+    pub attrs: Vec<AttrType>,
+    /// Number of leading key attributes.
+    pub key_arity: usize,
+}
+
+/// A single rule `head :- body.`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Head relation name.
+    pub head: String,
+    /// Head terms: variables or arithmetic expressions over body variables.
+    pub head_terms: Vec<HeadTerm>,
+    /// Body literals in source order.
+    pub body: Vec<Literal>,
+    /// Source line (for error messages).
+    pub line: usize,
+}
+
+/// A term in a rule head.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadTerm {
+    /// A body variable passed through.
+    Var(String),
+    /// An arithmetic expression over body variables.
+    Expr(ArithAst),
+}
+
+/// A body literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A relation atom.
+    Atom {
+        /// Relation name (base or derived).
+        name: String,
+        /// Terms, one per attribute.
+        terms: Vec<Term>,
+    },
+    /// A negated relation atom (`!r(...)` — translated to an anti-join;
+    /// every shared variable must be bound by a positive atom).
+    NegAtom {
+        /// Relation name.
+        name: String,
+        /// Terms, one per attribute.
+        terms: Vec<Term>,
+    },
+    /// A comparison constraint.
+    Compare {
+        /// Left operand.
+        left: Operand,
+        /// Comparison operator.
+        op: kw_relational::CmpOp,
+        /// Right operand.
+        right: Operand,
+    },
+}
+
+/// A term inside an atom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A variable binding the attribute.
+    Var(String),
+    /// A constant the attribute must equal.
+    Const(ConstVal),
+    /// Ignore the attribute.
+    Wildcard,
+}
+
+/// An operand of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A bound variable.
+    Var(String),
+    /// A literal constant.
+    Const(ConstVal),
+}
+
+/// An untyped literal constant (typed during translation against the
+/// attribute it meets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstVal {
+    /// Integer literal.
+    Int(u64),
+    /// Float literal.
+    Float(f32),
+}
+
+/// Arithmetic expression AST (head expressions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArithAst {
+    /// A body variable.
+    Var(String),
+    /// A constant.
+    Const(ConstVal),
+    /// Addition.
+    Add(Box<ArithAst>, Box<ArithAst>),
+    /// Subtraction.
+    Sub(Box<ArithAst>, Box<ArithAst>),
+    /// Multiplication.
+    Mul(Box<ArithAst>, Box<ArithAst>),
+    /// Division.
+    Div(Box<ArithAst>, Box<ArithAst>),
+}
+
+impl ArithAst {
+    /// Variables referenced by the expression.
+    pub fn vars(&self) -> Vec<&str> {
+        match self {
+            ArithAst::Var(v) => vec![v.as_str()],
+            ArithAst::Const(_) => vec![],
+            ArithAst::Add(a, b)
+            | ArithAst::Sub(a, b)
+            | ArithAst::Mul(a, b)
+            | ArithAst::Div(a, b) => {
+                let mut out = a.vars();
+                out.extend(b.vars());
+                out
+            }
+        }
+    }
+}

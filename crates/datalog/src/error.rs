@@ -1,0 +1,83 @@
+//! Error type for the Datalog front-end.
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing or translating Datalog.
+#[derive(Debug)]
+pub enum DatalogError {
+    /// Lexical error.
+    Lex {
+        /// Source line.
+        line: usize,
+        /// Description.
+        detail: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Source line.
+        line: usize,
+        /// Description.
+        detail: String,
+    },
+    /// Semantic error (unknown relation, arity mismatch, unbound variable,
+    /// type conflict).
+    Semantic {
+        /// Description.
+        detail: String,
+    },
+    /// Plan construction failed downstream.
+    Weaver(kw_core::WeaverError),
+}
+
+impl DatalogError {
+    pub(crate) fn semantic(detail: impl Into<String>) -> DatalogError {
+        DatalogError::Semantic {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Lex { line, detail } => write!(f, "lex error (line {line}): {detail}"),
+            DatalogError::Parse { line, detail } => {
+                write!(f, "parse error (line {line}): {detail}")
+            }
+            DatalogError::Semantic { detail } => write!(f, "semantic error: {detail}"),
+            DatalogError::Weaver(e) => write!(f, "plan construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatalogError::Weaver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kw_core::WeaverError> for DatalogError {
+    fn from(e: kw_core::WeaverError) -> Self {
+        DatalogError::Weaver(e)
+    }
+}
+
+/// Convenience alias for front-end results.
+pub type Result<T> = std::result::Result<T, DatalogError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line() {
+        let e = DatalogError::Parse {
+            line: 12,
+            detail: "expected )".into(),
+        };
+        assert!(e.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Lexer for the Datalog surface syntax.
+
+use crate::{DatalogError, Result, Spanned, Token};
+
+/// Tokenize `src`.
+///
+/// `%` starts a line comment. Identifiers starting with a lower-case letter
+/// are relation names/directives; upper-case are variables; `_` is the
+/// wildcard.
+///
+/// # Errors
+///
+/// Returns [`DatalogError::Lex`] on unexpected characters or malformed
+/// numbers.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '%' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => push(&mut out, Token::LParen, line, &mut chars),
+            ')' => push(&mut out, Token::RParen, line, &mut chars),
+            ',' => push(&mut out, Token::Comma, line, &mut chars),
+            '+' => push(&mut out, Token::Plus, line, &mut chars),
+            '-' => push(&mut out, Token::Minus, line, &mut chars),
+            '*' => push(&mut out, Token::Star, line, &mut chars),
+            '/' => push(&mut out, Token::Slash, line, &mut chars),
+            '_' => push(&mut out, Token::Wildcard, line, &mut chars),
+            '.' => push(&mut out, Token::Dot, line, &mut chars),
+            ':' => {
+                chars.next();
+                if chars.next() != Some('-') {
+                    return Err(DatalogError::Lex {
+                        line,
+                        detail: "expected ':-'".into(),
+                    });
+                }
+                out.push(Spanned {
+                    token: Token::Turnstile,
+                    line,
+                });
+            }
+            '<' => {
+                chars.next();
+                let t = if chars.peek() == Some(&'=') {
+                    chars.next();
+                    Token::Le
+                } else {
+                    Token::Lt
+                };
+                out.push(Spanned { token: t, line });
+            }
+            '>' => {
+                chars.next();
+                let t = if chars.peek() == Some(&'=') {
+                    chars.next();
+                    Token::Ge
+                } else {
+                    Token::Gt
+                };
+                out.push(Spanned { token: t, line });
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                }
+                out.push(Spanned {
+                    token: Token::EqEq,
+                    line,
+                });
+            }
+            '!' => {
+                chars.next();
+                let t = if chars.peek() == Some(&'=') {
+                    chars.next();
+                    Token::Ne
+                } else {
+                    Token::Bang
+                };
+                out.push(Spanned { token: t, line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        chars.next();
+                    } else if d == '.' {
+                        // Lookahead: `1.` followed by a digit is a float;
+                        // otherwise the dot terminates the clause.
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if ahead.peek().is_some_and(char::is_ascii_digit) {
+                            is_float = true;
+                            text.push('.');
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| DatalogError::Lex {
+                        line,
+                        detail: format!("bad float literal '{text}'"),
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| DatalogError::Lex {
+                        line,
+                        detail: format!("bad integer literal '{text}'"),
+                    })?)
+                };
+                out.push(Spanned { token, line });
+            }
+            c if c.is_ascii_alphabetic() => {
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        text.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let token = if text.chars().next().is_some_and(char::is_uppercase) {
+                    Token::Variable(text)
+                } else {
+                    Token::Ident(text)
+                };
+                out.push(Spanned { token, line });
+            }
+            other => {
+                return Err(DatalogError::Lex {
+                    line,
+                    detail: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::End,
+        line,
+    });
+    Ok(out)
+}
+
+fn push(
+    out: &mut Vec<Spanned>,
+    token: Token,
+    line: usize,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) {
+    chars.next();
+    out.push(Spanned { token, line });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_rule() {
+        let t = tokens("r(K, V) :- t(K, V), V < 10.");
+        assert!(t.contains(&Token::Turnstile));
+        assert!(t.contains(&Token::Variable("K".into())));
+        assert!(t.contains(&Token::Ident("t".into())));
+        assert!(t.contains(&Token::Lt));
+        assert!(t.contains(&Token::Int(10)));
+        assert_eq!(t.last(), Some(&Token::End));
+    }
+
+    #[test]
+    fn float_vs_clause_dot() {
+        let t = tokens("x(1.5). y(2).");
+        assert!(t.contains(&Token::Float(1.5)));
+        assert!(t.contains(&Token::Int(2)));
+        assert_eq!(t.iter().filter(|x| **x == Token::Dot).count(), 2);
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_counted() {
+        let s = lex("% comment\nr(K) :- t(K).\n% more\n").unwrap();
+        assert_eq!(s[0].line, 2);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = tokens("A <= B >= C != D == E");
+        assert_eq!(
+            t[..9],
+            [
+                Token::Variable("A".into()),
+                Token::Le,
+                Token::Variable("B".into()),
+                Token::Ge,
+                Token::Variable("C".into()),
+                Token::Ne,
+                Token::Variable("D".into()),
+                Token::EqEq,
+                Token::Variable("E".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_reported_with_line() {
+        let err = lex("r(K).\n#").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+}

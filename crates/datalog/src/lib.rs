@@ -1,0 +1,283 @@
+//! Datalog front-end for the Kernel Weaver reproduction.
+//!
+//! The paper's language front-end is Datalog (Section 3): declarative rules
+//! are compiled into a query plan of relational-algebra operators, which
+//! Kernel Weaver then fuses. This crate implements a typed conjunctive
+//! subset sufficient for the paper's workloads:
+//!
+//! ```text
+//! % declare base relations; '*' marks key attributes (default: first)
+//! .input item(*u32, u32, f32).
+//! .input color(*u32, u32).
+//!
+//! % conjunctive rules: joins on shared variables, comparisons, constants
+//! cheap(K, P)    :- item(K, _, P), P < 10.0.
+//! red(K, P)      :- cheap(K, P), color(K, 1).
+//!
+//! % arithmetic head expressions (the paper's §4.4 extension)
+//! taxed(K, P * 1.1) :- red(K, P).
+//!
+//! .output taxed.
+//! ```
+//!
+//! Rules with the same head are UNIONed. Joining on a variable that is not
+//! the leading key of its relation inserts a SORT node — a kernel-dependence
+//! boundary, exactly as in the paper's Figure 9(c).
+//!
+//! Safe negation is supported: `!banned(K, _)` in a body becomes an
+//! anti-join on the variables shared with the positive atoms (every negated
+//! atom must share at least one). Not supported (documented scope cuts):
+//! recursion (the paper also "only considers" non-recursive queries) and
+//! aggregation syntax (build aggregate plans directly with
+//! [`kw_core::QueryPlan`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use kw_datalog::compile_datalog;
+//!
+//! let q = "
+//!     .input t(*u32, u32).
+//!     small(K, V) :- t(K, V), V < 100.
+//!     .output small.
+//! ";
+//! let translated = compile_datalog(q)?;
+//! assert_eq!(translated.outputs.len(), 1);
+//! assert!(translated.plan.validate().is_ok());
+//! # Ok::<(), kw_datalog::DatalogError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod lexer;
+mod parser;
+mod token;
+mod translate;
+
+pub use ast::{ArithAst, ConstVal, HeadTerm, InputDecl, Literal, Operand, Program, Rule, Term};
+pub use error::{DatalogError, Result};
+pub use lexer::lex;
+pub use parser::parse;
+pub use token::{Spanned, Token};
+pub use translate::{translate, Translated};
+
+/// Parse and translate a Datalog program into a query plan.
+///
+/// # Errors
+///
+/// Returns [`DatalogError`] for lexical, syntactic or semantic problems.
+pub fn compile_datalog(src: &str) -> Result<Translated> {
+    translate(&parse(src)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_core::{execute_plan, WeaverConfig};
+    use kw_gpu_sim::{Device, DeviceConfig};
+    use kw_primitives::RaOp;
+    use kw_relational::{gen, ops, CmpOp, Predicate, Value};
+
+    #[test]
+    fn select_chain_program_runs_and_matches_oracle() {
+        let src = "
+            .input t(*u32, u32, u32, u32).
+            f1(A, B, C, D) :- t(A, B, C, D), B < 2147483647.
+            f2(A, B) :- f1(A, B, C, _), C < 1073741824.
+            .output f2.
+        ";
+        let translated = compile_datalog(src).unwrap();
+        let input = gen::micro_input(5_000, 3);
+
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        let report = execute_plan(
+            &translated.plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+        )
+        .unwrap();
+
+        let p1 = Predicate::cmp(1, CmpOp::Lt, Value::U32(2147483647));
+        let p2 = Predicate::cmp(2, CmpOp::Lt, Value::U32(1073741824));
+        let expect = ops::project(
+            &ops::select(&ops::select(&input, &p1).unwrap(), &p2).unwrap(),
+            &[0, 1],
+            1,
+        )
+        .unwrap();
+        let (_, out_node) = translated.outputs[0];
+        assert_eq!(report.outputs[&out_node], expect);
+    }
+
+    #[test]
+    fn join_program_matches_oracle() {
+        let src = "
+            .input x(*u32, u32).
+            .input y(*u32, u32).
+            j(K, A, B) :- x(K, A), y(K, B).
+            .output j.
+        ";
+        let translated = compile_datalog(src).unwrap();
+        let (l, r) = gen::join_inputs(2_000, 2, 0.5, 11);
+
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        let report = execute_plan(
+            &translated.plan,
+            &[("x", &l), ("y", &r)],
+            &mut dev,
+            &WeaverConfig::default(),
+        )
+        .unwrap();
+
+        let expect = ops::project(&ops::join(&l, &r, 1).unwrap(), &[0, 1, 2], 1).unwrap();
+        let (_, out) = translated.outputs[0];
+        assert_eq!(report.outputs[&out], expect);
+    }
+
+    #[test]
+    fn join_on_non_key_inserts_sort() {
+        let src = "
+            .input x(*u32, u32).
+            .input y(*u32, u32).
+            j(K) :- x(K, V), y(_, V).
+            .output j.
+        ";
+        let translated = compile_datalog(src).unwrap();
+        let sorts = translated
+            .plan
+            .operator_nodes()
+            .filter(|(_, op, _)| matches!(op, RaOp::Sort { .. }))
+            .count();
+        assert!(sorts >= 1, "expected a SORT re-key:\n{}", translated.plan.describe());
+    }
+
+    #[test]
+    fn arithmetic_head_becomes_map() {
+        let src = "
+            .input l(*u32, f32, f32, f32).
+            rev(K, P * (1.0 - D) * (1.0 + T)) :- l(K, P, D, T).
+            .output rev.
+        ";
+        let translated = compile_datalog(src).unwrap();
+        let maps = translated
+            .plan
+            .operator_nodes()
+            .filter(|(_, op, _)| matches!(op, RaOp::Map { .. }))
+            .count();
+        assert_eq!(maps, 1);
+    }
+
+    #[test]
+    fn same_head_rules_union() {
+        let src = "
+            .input t(*u32, u32).
+            r(K) :- t(K, V), V < 5.
+            r(K) :- t(K, V), V > 100.
+            .output r.
+        ";
+        let translated = compile_datalog(src).unwrap();
+        let unions = translated
+            .plan
+            .operator_nodes()
+            .filter(|(_, op, _)| matches!(op, RaOp::Union))
+            .count();
+        assert_eq!(unions, 1);
+    }
+
+    #[test]
+    fn negation_is_anti_join() {
+        let src = "
+            .input t(*u32, u32).
+            .input banned(*u32, u32).
+            ok(K, V) :- t(K, V), !banned(K, _).
+            .output ok.
+        ";
+        let translated = compile_datalog(src).unwrap();
+        let anti = translated
+            .plan
+            .operator_nodes()
+            .filter(|(_, op, _)| matches!(op, RaOp::AntiJoin { .. }))
+            .count();
+        assert_eq!(anti, 1);
+
+        let t = kw_relational::Relation::from_words(
+            kw_relational::Schema::uniform_u32(2),
+            vec![1, 10, 2, 20, 3, 30],
+        )
+        .unwrap();
+        let banned = kw_relational::Relation::from_words(
+            kw_relational::Schema::uniform_u32(2),
+            vec![2, 0],
+        )
+        .unwrap();
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        let report = execute_plan(
+            &translated.plan,
+            &[("t", &t), ("banned", &banned)],
+            &mut dev,
+            &WeaverConfig::default(),
+        )
+        .unwrap();
+        let (_, out) = translated.outputs[0];
+        assert_eq!(report.outputs[&out].words(), &[1, 10, 3, 30]);
+    }
+
+    #[test]
+    fn unsafe_negation_rejected() {
+        let src = "
+            .input t(*u32).
+            .input u(*u32).
+            r(K) :- t(K), !u(Z).
+            .output r.
+        ";
+        let err = compile_datalog(src).unwrap_err();
+        assert!(err.to_string().contains("shares no variable"), "{err}");
+    }
+
+    #[test]
+    fn semantic_errors() {
+        // Unknown relation.
+        assert!(compile_datalog(".input t(*u32).\nr(K) :- u(K).\n.output r.").is_err());
+        // Arity mismatch.
+        assert!(compile_datalog(".input t(*u32).\nr(K) :- t(K, V).\n.output r.").is_err());
+        // Unbound head variable.
+        assert!(compile_datalog(".input t(*u32).\nr(Z) :- t(K).\n.output r.").is_err());
+        // Missing output.
+        assert!(compile_datalog(".input t(*u32).\nr(K) :- t(K).").is_err());
+        // Unknown output.
+        assert!(compile_datalog(".input t(*u32).\nr(K) :- t(K).\n.output z.").is_err());
+        // Constant too large for u32 attribute.
+        assert!(
+            compile_datalog(".input t(*u32).\nr(K) :- t(K), K < 99999999999.\n.output r.")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_is_equality() {
+        let src = "
+            .input t(*u32, u32).
+            eq(K) :- t(K, K).
+            .output eq.
+        ";
+        let translated = compile_datalog(src).unwrap();
+        let input = kw_relational::Relation::from_words(
+            kw_relational::Schema::uniform_u32(2),
+            vec![1, 1, 2, 3, 4, 4],
+        )
+        .unwrap();
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        let report = execute_plan(
+            &translated.plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+        )
+        .unwrap();
+        let (_, out) = translated.outputs[0];
+        assert_eq!(report.outputs[&out].to_rows().len(), 2);
+    }
+}

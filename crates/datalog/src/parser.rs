@@ -1,0 +1,378 @@
+//! Recursive-descent parser for the Datalog subset.
+
+use kw_relational::{AttrType, CmpOp};
+
+use crate::{
+    ArithAst, ConstVal, DatalogError, HeadTerm, InputDecl, Literal, Operand, Program, Result,
+    Rule, Spanned, Term, Token,
+};
+
+/// Parse a program from source text.
+///
+/// # Errors
+///
+/// Returns [`DatalogError::Lex`] or [`DatalogError::Parse`] with the source
+/// line of the problem.
+pub fn parse(src: &str) -> Result<Program> {
+    let tokens = crate::lex(src)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, detail: impl Into<String>) -> Result<T> {
+        Err(DatalogError::Parse {
+            line: self.line(),
+            detail: detail.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<()> {
+        if self.peek() == want {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found '{}'", self.peek()))
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut p = Program::default();
+        loop {
+            match self.peek().clone() {
+                Token::End => break,
+                Token::Dot => {
+                    self.next();
+                    let Token::Ident(directive) = self.next() else {
+                        return self.err("expected directive after '.'");
+                    };
+                    match directive.as_str() {
+                        "input" => p.inputs.push(self.input_decl()?),
+                        "output" => {
+                            let Token::Ident(name) = self.next() else {
+                                return self.err("expected relation name after .output");
+                            };
+                            p.outputs.push(name);
+                            self.expect(&Token::Dot, "'.'")?;
+                        }
+                        other => return self.err(format!("unknown directive '.{other}'")),
+                    }
+                }
+                Token::Ident(_) => p.rules.push(self.rule()?),
+                other => return self.err(format!("unexpected '{other}'")),
+            }
+        }
+        Ok(p)
+    }
+
+    fn input_decl(&mut self) -> Result<InputDecl> {
+        let Token::Ident(name) = self.next() else {
+            return self.err("expected relation name after .input");
+        };
+        self.expect(&Token::LParen, "'('")?;
+        let mut attrs = Vec::new();
+        let mut key_arity = 0usize;
+        let mut starred = false;
+        loop {
+            let mut is_key = false;
+            if *self.peek() == Token::Star {
+                self.next();
+                is_key = true;
+                starred = true;
+            }
+            let Token::Ident(ty) = self.next() else {
+                return self.err("expected attribute type");
+            };
+            let ty = match ty.as_str() {
+                "u32" => AttrType::U32,
+                "u64" => AttrType::U64,
+                "f32" => AttrType::F32,
+                "bool" => AttrType::Bool,
+                other => return self.err(format!("unknown type '{other}'")),
+            };
+            if is_key {
+                if attrs.len() != key_arity {
+                    return self.err("key attributes must be a leading prefix");
+                }
+                key_arity += 1;
+            }
+            attrs.push(ty);
+            match self.next() {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => return self.err(format!("expected ',' or ')', found '{other}'")),
+            }
+        }
+        self.expect(&Token::Dot, "'.'")?;
+        if !starred {
+            key_arity = 1.min(attrs.len());
+        }
+        Ok(InputDecl {
+            name,
+            attrs,
+            key_arity,
+        })
+    }
+
+    fn rule(&mut self) -> Result<Rule> {
+        let line = self.line();
+        let Token::Ident(head) = self.next() else {
+            return self.err("expected head relation name");
+        };
+        self.expect(&Token::LParen, "'('")?;
+        let mut head_terms = Vec::new();
+        loop {
+            head_terms.push(self.head_term()?);
+            match self.next() {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => return self.err(format!("expected ',' or ')', found '{other}'")),
+            }
+        }
+        self.expect(&Token::Turnstile, "':-'")?;
+        let mut body = Vec::new();
+        loop {
+            body.push(self.literal()?);
+            match self.next() {
+                Token::Comma => continue,
+                Token::Dot => break,
+                other => return self.err(format!("expected ',' or '.', found '{other}'")),
+            }
+        }
+        Ok(Rule {
+            head,
+            head_terms,
+            body,
+            line,
+        })
+    }
+
+    fn head_term(&mut self) -> Result<HeadTerm> {
+        let expr = self.arith_expr()?;
+        // A bare variable stays a Var (pass-through); anything else is an
+        // arithmetic head expression.
+        Ok(match expr {
+            ArithAst::Var(v) => HeadTerm::Var(v),
+            other => HeadTerm::Expr(other),
+        })
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        if *self.peek() == Token::Bang {
+            self.next();
+            let Token::Ident(name) = self.next() else {
+                return self.err("expected relation name after '!'");
+            };
+            self.expect(&Token::LParen, "'('")?;
+            let mut terms = Vec::new();
+            loop {
+                terms.push(self.atom_term()?);
+                match self.next() {
+                    Token::Comma => continue,
+                    Token::RParen => break,
+                    other => return self.err(format!("expected ',' or ')', found '{other}'")),
+                }
+            }
+            return Ok(Literal::NegAtom { name, terms });
+        }
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                self.next();
+                self.expect(&Token::LParen, "'('")?;
+                let mut terms = Vec::new();
+                loop {
+                    terms.push(self.atom_term()?);
+                    match self.next() {
+                        Token::Comma => continue,
+                        Token::RParen => break,
+                        other => {
+                            return self.err(format!("expected ',' or ')', found '{other}'"))
+                        }
+                    }
+                }
+                Ok(Literal::Atom { name, terms })
+            }
+            _ => {
+                let left = self.operand()?;
+                let op = match self.next() {
+                    Token::Lt => CmpOp::Lt,
+                    Token::Le => CmpOp::Le,
+                    Token::Gt => CmpOp::Gt,
+                    Token::Ge => CmpOp::Ge,
+                    Token::EqEq => CmpOp::Eq,
+                    Token::Ne => CmpOp::Ne,
+                    other => return self.err(format!("expected comparison, found '{other}'")),
+                };
+                let right = self.operand()?;
+                Ok(Literal::Compare { left, op, right })
+            }
+        }
+    }
+
+    fn atom_term(&mut self) -> Result<Term> {
+        match self.next() {
+            Token::Variable(v) => Ok(Term::Var(v)),
+            Token::Wildcard => Ok(Term::Wildcard),
+            Token::Int(v) => Ok(Term::Const(ConstVal::Int(v))),
+            Token::Float(v) => Ok(Term::Const(ConstVal::Float(v))),
+            other => self.err(format!("expected term, found '{other}'")),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match self.next() {
+            Token::Variable(v) => Ok(Operand::Var(v)),
+            Token::Int(v) => Ok(Operand::Const(ConstVal::Int(v))),
+            Token::Float(v) => Ok(Operand::Const(ConstVal::Float(v))),
+            other => self.err(format!("expected operand, found '{other}'")),
+        }
+    }
+
+    // Arithmetic expressions with standard precedence: term ::= factor (('*'|'/') factor)*.
+    fn arith_expr(&mut self) -> Result<ArithAst> {
+        let mut left = self.arith_term()?;
+        loop {
+            match self.peek() {
+                Token::Plus => {
+                    self.next();
+                    let r = self.arith_term()?;
+                    left = ArithAst::Add(Box::new(left), Box::new(r));
+                }
+                Token::Minus => {
+                    self.next();
+                    let r = self.arith_term()?;
+                    left = ArithAst::Sub(Box::new(left), Box::new(r));
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    fn arith_term(&mut self) -> Result<ArithAst> {
+        let mut left = self.arith_factor()?;
+        loop {
+            match self.peek() {
+                Token::Star => {
+                    self.next();
+                    let r = self.arith_factor()?;
+                    left = ArithAst::Mul(Box::new(left), Box::new(r));
+                }
+                Token::Slash => {
+                    self.next();
+                    let r = self.arith_factor()?;
+                    left = ArithAst::Div(Box::new(left), Box::new(r));
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    fn arith_factor(&mut self) -> Result<ArithAst> {
+        match self.next() {
+            Token::Variable(v) => Ok(ArithAst::Var(v)),
+            Token::Int(v) => Ok(ArithAst::Const(ConstVal::Int(v))),
+            Token::Float(v) => Ok(ArithAst::Const(ConstVal::Float(v))),
+            Token::LParen => {
+                let e = self.arith_expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_inputs_rules_outputs() {
+        let p = parse(
+            "% demo\n\
+             .input t(*u32, u32, f32).\n\
+             .input u(*u32, u32).\n\
+             r(K, V) :- t(K, V, _), V < 10.\n\
+             s(K, W) :- r(K, V), u(K, W), V != W.\n\
+             .output s.\n",
+        )
+        .unwrap();
+        assert_eq!(p.inputs.len(), 2);
+        assert_eq!(p.inputs[0].key_arity, 1);
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.outputs, vec!["s"]);
+        assert_eq!(p.rules[0].body.len(), 2);
+    }
+
+    #[test]
+    fn parses_arithmetic_head() {
+        let p = parse(
+            ".input l(*u32, f32, f32, f32).\n\
+             r(K, P * (1.0 - D) * (1.0 + T)) :- l(K, P, D, T).\n\
+             .output r.\n",
+        )
+        .unwrap();
+        match &p.rules[0].head_terms[1] {
+            HeadTerm::Expr(e) => {
+                assert_eq!(e.vars().len(), 3);
+            }
+            other => panic!("expected expression, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_key_is_first_attr() {
+        let p = parse(".input t(u32, u32).\nr(K) :- t(K, _).\n.output r.").unwrap();
+        assert_eq!(p.inputs[0].key_arity, 1);
+    }
+
+    #[test]
+    fn multi_attr_key() {
+        let p = parse(".input t(*u32, *u32, f32).\nr(K) :- t(K, _, _).\n.output r.").unwrap();
+        assert_eq!(p.inputs[0].key_arity, 2);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = parse(".input t(*u32).\nr(K) :- t(K\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("parse error"), "{msg}");
+    }
+
+    #[test]
+    fn non_prefix_key_rejected() {
+        assert!(parse(".input t(u32, *u32).\n").is_err());
+        assert!(parse(".input t(*u32, u32, *u32).\n").is_err());
+    }
+
+    #[test]
+    fn constants_in_atoms() {
+        let p = parse(".input t(*u32, u32).\nr(K) :- t(K, 7).\n.output r.").unwrap();
+        match &p.rules[0].body[0] {
+            Literal::Atom { terms, .. } => {
+                assert_eq!(terms[1], Term::Const(ConstVal::Int(7)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Tokens of the Datalog surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Lower-case identifier (relation names, directives).
+    Ident(String),
+    /// Upper-case identifier (variables).
+    Variable(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// Floating literal (contains a `.` or exponent).
+    Float(f32),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.` terminating a clause
+    Dot,
+    /// `:-`
+    Turnstile,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `!` (negation prefix)
+    Bang,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `_` wildcard
+    Wildcard,
+    /// A directive word following `.`: `input`, `output`, etc. — produced
+    /// by the parser, not the lexer.
+    End,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Variable(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Turnstile => write!(f, ":-"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Bang => write!(f, "!"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Wildcard => write!(f, "_"),
+            Token::End => write!(f, "<end>"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based) for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Source line it starts on.
+    pub line: usize,
+}

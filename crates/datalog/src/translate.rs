@@ -1,0 +1,452 @@
+//! Translation from Datalog rules to Kernel Weaver query plans.
+//!
+//! Each rule becomes a left-deep operator tree: per-atom constant/equality
+//! SELECTs, joins between atoms on their shared variables (with SORT nodes
+//! inserted when a shared variable is not already the leading key — exactly
+//! the kernel-dependence boundaries of the paper's Figure 9(c)), one SELECT
+//! for the comparison constraints, and a PROJECT (or arithmetic MAP) onto
+//! the head terms. Rules with the same head name are UNIONed.
+
+use std::collections::BTreeMap;
+
+use kw_core::{NodeId, QueryPlan};
+use kw_primitives::RaOp;
+use kw_relational::{AttrType, CmpOp, Expr, Predicate, Schema, Value};
+
+use crate::{
+    ArithAst, ConstVal, DatalogError, HeadTerm, Literal, Operand, Program, Result, Rule, Term,
+};
+
+/// A translated program: the plan plus name↦node maps.
+#[derive(Debug)]
+pub struct Translated {
+    /// The query plan.
+    pub plan: QueryPlan,
+    /// Base relation input nodes by name.
+    pub inputs: BTreeMap<String, NodeId>,
+    /// Output nodes in `.output` order, with their names.
+    pub outputs: Vec<(String, NodeId)>,
+}
+
+/// Translate a parsed [`Program`] into a [`QueryPlan`].
+///
+/// # Errors
+///
+/// Returns [`DatalogError::Semantic`] for unknown relations, arity
+/// mismatches, unbound variables or type conflicts.
+pub fn translate(program: &Program) -> Result<Translated> {
+    let mut plan = QueryPlan::new();
+    let mut inputs = BTreeMap::new();
+    // name -> (node, variable-free schema) for base and derived relations.
+    let mut env: BTreeMap<String, NodeId> = BTreeMap::new();
+
+    for decl in &program.inputs {
+        if env.contains_key(&decl.name) {
+            return Err(DatalogError::semantic(format!(
+                "relation '{}' declared twice",
+                decl.name
+            )));
+        }
+        let schema = Schema::new(decl.attrs.clone(), decl.key_arity);
+        let node = plan.add_input(decl.name.clone(), schema);
+        env.insert(decl.name.clone(), node);
+        inputs.insert(decl.name.clone(), node);
+    }
+
+    // Group rules by head, preserving order of first appearance.
+    let mut head_order: Vec<String> = Vec::new();
+    for r in &program.rules {
+        if !head_order.contains(&r.head) {
+            head_order.push(r.head.clone());
+        }
+    }
+    for head in &head_order {
+        let mut result: Option<NodeId> = None;
+        for rule in program.rules.iter().filter(|r| &r.head == head) {
+            let node = translate_rule(&mut plan, &env, rule)?;
+            result = Some(match result {
+                None => node,
+                Some(prev) => plan
+                    .add_op(RaOp::Union, &[prev, node])
+                    .map_err(DatalogError::from)?,
+            });
+        }
+        let node = result.expect("at least one rule per head");
+        if env.contains_key(head) {
+            return Err(DatalogError::semantic(format!(
+                "relation '{head}' already defined"
+            )));
+        }
+        env.insert(head.clone(), node);
+    }
+
+    let mut outputs = Vec::new();
+    for name in &program.outputs {
+        let node = *env.get(name).ok_or_else(|| {
+            DatalogError::semantic(format!("output relation '{name}' is not defined"))
+        })?;
+        plan.mark_output(node);
+        outputs.push((name.clone(), node));
+    }
+    if outputs.is_empty() {
+        return Err(DatalogError::semantic("program has no .output directive"));
+    }
+
+    Ok(Translated {
+        plan,
+        inputs,
+        outputs,
+    })
+}
+
+/// Bindings: variable name -> attribute position in the current
+/// intermediate relation.
+type Bindings = Vec<(String, usize)>;
+
+fn position(bindings: &Bindings, var: &str) -> Option<usize> {
+    bindings.iter().find(|(v, _)| v == var).map(|(_, p)| *p)
+}
+
+fn translate_rule(
+    plan: &mut QueryPlan,
+    env: &BTreeMap<String, NodeId>,
+    rule: &Rule,
+) -> Result<NodeId> {
+    let mut acc: Option<(NodeId, Bindings)> = None;
+
+    for lit in &rule.body {
+        if let Literal::Atom { name, terms } = lit {
+            let (node, bindings) = load_atom(plan, env, name, terms, rule.line)?;
+            acc = Some(match acc {
+                None => (node, bindings),
+                Some((lnode, lbind)) => join_atoms(plan, lnode, lbind, node, bindings)?,
+            });
+        }
+    }
+    let (mut node, mut bindings) = acc.ok_or_else(|| {
+        DatalogError::semantic(format!(
+            "rule for '{}' (line {}) has no positive relation atoms",
+            rule.head, rule.line
+        ))
+    })?;
+
+    // Negated atoms become anti-joins on the variables shared with the
+    // positive body (every negation must be "safe": share at least one
+    // bound variable).
+    for lit in &rule.body {
+        if let Literal::NegAtom { name, terms } = lit {
+            let (rnode, rbind) = load_atom(plan, env, name, terms, rule.line)?;
+            let shared: Vec<String> = bindings
+                .iter()
+                .map(|(v, _)| v.clone())
+                .filter(|v| position(&rbind, v).is_some())
+                .collect();
+            if shared.is_empty() {
+                return Err(DatalogError::semantic(format!(
+                    "negated atom '!{name}' (line {}) shares no variable with the positive body",
+                    rule.line
+                )));
+            }
+            let (lnode, lbind) = rekey(plan, node, bindings, &shared)?;
+            let (rnode, _) = rekey(plan, rnode, rbind, &shared)?;
+            node = plan
+                .add_op(
+                    RaOp::AntiJoin {
+                        key_len: shared.len(),
+                    },
+                    &[lnode, rnode],
+                )
+                .map_err(DatalogError::from)?;
+            bindings = lbind;
+        }
+    }
+
+    // Comparison constraints, conjoined into one SELECT.
+    let mut pred: Option<Predicate> = None;
+    for lit in &rule.body {
+        if let Literal::Compare { left, op, right } = lit {
+            let p = compare_predicate(plan, node, &bindings, left, *op, right)?;
+            pred = Some(match pred {
+                None => p,
+                Some(q) => q.and(p),
+            });
+        }
+    }
+    if let Some(pred) = pred {
+        node = plan
+            .add_op(RaOp::Select { pred }, &[node])
+            .map_err(DatalogError::from)?;
+    }
+
+    // Head projection / arithmetic map.
+    let all_vars = rule
+        .head_terms
+        .iter()
+        .all(|t| matches!(t, HeadTerm::Var(_)));
+    if all_vars {
+        let mut attrs = Vec::new();
+        for t in &rule.head_terms {
+            let HeadTerm::Var(v) = t else { unreachable!() };
+            attrs.push(position(&bindings, v).ok_or_else(|| {
+                DatalogError::semantic(format!(
+                    "head variable '{v}' of '{}' is not bound in the body",
+                    rule.head
+                ))
+            })?);
+        }
+        // A PROJECT can only claim a key it preserves; otherwise the
+        // derived relation is unkeyed and a later join will insert a SORT.
+        let key_arity = usize::from(attrs.first() == Some(&0));
+        plan.add_op(RaOp::Project { attrs, key_arity }, &[node])
+            .map_err(DatalogError::from)
+    } else {
+        let mut exprs = Vec::new();
+        for t in &rule.head_terms {
+            exprs.push(match t {
+                HeadTerm::Var(v) => Expr::attr(position(&bindings, v).ok_or_else(|| {
+                    DatalogError::semantic(format!(
+                        "head variable '{v}' of '{}' is not bound in the body",
+                        rule.head
+                    ))
+                })?),
+                HeadTerm::Expr(e) => arith_to_expr(e, &bindings)?,
+            });
+        }
+        let key_arity = usize::from(exprs.first() == Some(&Expr::Attr(0)));
+        plan.add_op(RaOp::Map { exprs, key_arity }, &[node])
+            .map_err(DatalogError::from)
+    }
+}
+
+/// Load one atom: resolve the relation, apply constant/equality selects,
+/// and return its node plus variable bindings.
+fn load_atom(
+    plan: &mut QueryPlan,
+    env: &BTreeMap<String, NodeId>,
+    name: &str,
+    terms: &[Term],
+    line: usize,
+) -> Result<(NodeId, Bindings)> {
+    let node = *env.get(name).ok_or_else(|| {
+        DatalogError::semantic(format!("unknown relation '{name}' (line {line})"))
+    })?;
+    let schema = plan.schema(node).clone();
+    if terms.len() != schema.arity() {
+        return Err(DatalogError::semantic(format!(
+            "atom '{name}' has {} terms but the relation has arity {} (line {line})",
+            terms.len(),
+            schema.arity()
+        )));
+    }
+
+    let mut bindings: Bindings = Vec::new();
+    let mut pred: Option<Predicate> = None;
+    let and = |pred: &mut Option<Predicate>, p: Predicate| {
+        *pred = Some(match pred.take() {
+            None => p,
+            Some(q) => q.and(p),
+        });
+    };
+
+    for (i, term) in terms.iter().enumerate() {
+        match term {
+            Term::Wildcard => {}
+            Term::Const(c) => {
+                let v = typed_const(*c, schema.attr(i))?;
+                and(&mut pred, Predicate::cmp(i, CmpOp::Eq, v));
+            }
+            Term::Var(v) => match position(&bindings, v) {
+                None => bindings.push((v.clone(), i)),
+                Some(first) => and(&mut pred, Predicate::cmp_attr(first, CmpOp::Eq, i)),
+            },
+        }
+    }
+
+    let node = match pred {
+        Some(pred) => plan
+            .add_op(RaOp::Select { pred }, &[node])
+            .map_err(DatalogError::from)?,
+        None => node,
+    };
+    Ok((node, bindings))
+}
+
+/// Join the accumulated relation with a new atom on their shared variables,
+/// inserting SORT nodes to re-key when necessary.
+fn join_atoms(
+    plan: &mut QueryPlan,
+    lnode: NodeId,
+    lbind: Bindings,
+    rnode: NodeId,
+    rbind: Bindings,
+) -> Result<(NodeId, Bindings)> {
+    let shared: Vec<String> = lbind
+        .iter()
+        .map(|(v, _)| v.clone())
+        .filter(|v| position(&rbind, v).is_some())
+        .collect();
+
+    if shared.is_empty() {
+        // No shared variables: cross product.
+        let larity = plan.schema(lnode).arity();
+        let node = plan
+            .add_op(RaOp::Product, &[lnode, rnode])
+            .map_err(DatalogError::from)?;
+        let mut bindings = lbind;
+        for (v, p) in rbind {
+            if position(&bindings, &v).is_none() {
+                bindings.push((v, larity + p));
+            }
+        }
+        return Ok((node, bindings));
+    }
+
+    // Re-key both sides so the shared variables lead.
+    let (lnode, lbind) = rekey(plan, lnode, lbind, &shared)?;
+    let (rnode, rbind) = rekey(plan, rnode, rbind, &shared)?;
+    let k = shared.len();
+    let larity = plan.schema(lnode).arity();
+
+    let node = plan
+        .add_op(RaOp::Join { key_len: k }, &[lnode, rnode])
+        .map_err(DatalogError::from)?;
+
+    // Output layout: shared key, left non-key attrs, right non-key attrs.
+    let mut bindings: Bindings = Vec::new();
+    for (v, p) in &lbind {
+        bindings.push((v.clone(), *p));
+    }
+    for (v, p) in &rbind {
+        if position(&bindings, v).is_none() {
+            bindings.push((v.clone(), larity + (p - k)));
+        }
+    }
+    Ok((node, bindings))
+}
+
+/// Permute a relation (via SORT) so that `shared` variables become the
+/// leading key, unless they already are.
+fn rekey(
+    plan: &mut QueryPlan,
+    node: NodeId,
+    bindings: Bindings,
+    shared: &[String],
+) -> Result<(NodeId, Bindings)> {
+    let positions: Vec<usize> = shared
+        .iter()
+        .map(|v| position(&bindings, v).expect("shared var bound on this side"))
+        .collect();
+    let schema = plan.schema(node);
+    let already =
+        positions.iter().enumerate().all(|(i, &p)| p == i) && schema.key_arity() >= positions.len();
+    if already {
+        return Ok((node, bindings));
+    }
+    let sorted = plan
+        .add_op(
+            RaOp::Sort {
+                attrs: positions.clone(),
+            },
+            &[node],
+        )
+        .map_err(DatalogError::from)?;
+    // New attribute order: `positions` first, then the rest in order.
+    let arity = plan.schema(sorted).arity();
+    let mut order: Vec<usize> = positions.clone();
+    for a in 0..arity {
+        if !order.contains(&a) {
+            order.push(a);
+        }
+    }
+    let new_bindings = bindings
+        .into_iter()
+        .map(|(v, old)| {
+            let new = order.iter().position(|&o| o == old).expect("permutation");
+            (v, new)
+        })
+        .collect();
+    Ok((sorted, new_bindings))
+}
+
+fn compare_predicate(
+    plan: &QueryPlan,
+    node: NodeId,
+    bindings: &Bindings,
+    left: &Operand,
+    op: CmpOp,
+    right: &Operand,
+) -> Result<Predicate> {
+    let schema = plan.schema(node);
+    let pos = |o: &Operand| -> Result<usize> {
+        match o {
+            Operand::Var(v) => position(bindings, v).ok_or_else(|| {
+                DatalogError::semantic(format!("comparison uses unbound variable '{v}'"))
+            }),
+            Operand::Const(_) => unreachable!("handled by caller"),
+        }
+    };
+    match (left, right) {
+        (Operand::Var(_), Operand::Var(_)) => {
+            Ok(Predicate::cmp_attr(pos(left)?, op, pos(right)?))
+        }
+        (Operand::Var(_), Operand::Const(c)) => {
+            let a = pos(left)?;
+            Ok(Predicate::cmp(a, op, typed_const(*c, schema.attr(a))?))
+        }
+        (Operand::Const(c), Operand::Var(_)) => {
+            let a = pos(right)?;
+            let flipped = match op {
+                CmpOp::Lt => CmpOp::Gt,
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Gt => CmpOp::Lt,
+                CmpOp::Ge => CmpOp::Le,
+                other => other,
+            };
+            Ok(Predicate::cmp(a, flipped, typed_const(*c, schema.attr(a))?))
+        }
+        (Operand::Const(_), Operand::Const(_)) => Err(DatalogError::semantic(
+            "comparison between two constants",
+        )),
+    }
+}
+
+fn typed_const(c: ConstVal, ty: AttrType) -> Result<Value> {
+    match (c, ty) {
+        (ConstVal::Int(v), AttrType::U32) => {
+            u32::try_from(v).map(Value::U32).map_err(|_| {
+                DatalogError::semantic(format!("constant {v} does not fit u32"))
+            })
+        }
+        (ConstVal::Int(v), AttrType::U64) => Ok(Value::U64(v)),
+        (ConstVal::Int(v), AttrType::F32) => Ok(Value::F32(v as f32)),
+        (ConstVal::Int(v), AttrType::Bool) => Ok(Value::Bool(v != 0)),
+        (ConstVal::Float(v), AttrType::F32) => Ok(Value::F32(v)),
+        (ConstVal::Float(v), ty) => Err(DatalogError::semantic(format!(
+            "float constant {v} used where {ty} expected"
+        ))),
+    }
+}
+
+fn arith_to_expr(ast: &ArithAst, bindings: &Bindings) -> Result<Expr> {
+    Ok(match ast {
+        ArithAst::Var(v) => Expr::attr(position(bindings, v).ok_or_else(|| {
+            DatalogError::semantic(format!("expression uses unbound variable '{v}'"))
+        })?),
+        ArithAst::Const(ConstVal::Int(v)) => {
+            if let Ok(small) = u32::try_from(*v) {
+                Expr::lit(small)
+            } else {
+                Expr::lit(*v)
+            }
+        }
+        ArithAst::Const(ConstVal::Float(v)) => Expr::lit(*v),
+        ArithAst::Add(a, b) => arith_to_expr(a, bindings)?
+            .add(arith_to_expr(b, bindings)?),
+        ArithAst::Sub(a, b) => arith_to_expr(a, bindings)?
+            .sub(arith_to_expr(b, bindings)?),
+        ArithAst::Mul(a, b) => arith_to_expr(a, bindings)?
+            .mul(arith_to_expr(b, bindings)?),
+        ArithAst::Div(a, b) => arith_to_expr(a, bindings)?
+            .div(arith_to_expr(b, bindings)?),
+    })
+}

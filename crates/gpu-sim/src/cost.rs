@@ -1,0 +1,266 @@
+//! The kernel cost model.
+//!
+//! A kernel's cost is assembled from the quantities the interpreter
+//! accumulates while executing it: bytes moved at each level of the memory
+//! hierarchy, ALU operations and barriers. Costs are charged in core cycles:
+//!
+//! * global traffic is bandwidth-limited, degraded when occupancy is too low
+//!   to hide DRAM latency (below
+//!   [`crate::DeviceConfig::bandwidth_saturation_occupancy`]) and when the
+//!   grid is too small to fill the device;
+//! * shared-memory traffic uses the on-chip bandwidth
+//!   ([`crate::DeviceConfig::shared_bandwidth_ratio`] × global);
+//! * register traffic is free (it is the baseline the others are relative
+//!   to), which is exactly why fusing thread-dependent operators wins;
+//! * every kernel pays a fixed launch overhead, every CTA-wide barrier a
+//!   fixed synchronization cost.
+
+use crate::{occupancy, DeviceConfig, Occupancy};
+
+/// Launch geometry of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchDims {
+    /// Number of CTAs in the grid.
+    pub grid_ctas: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+}
+
+impl LaunchDims {
+    /// Convenience constructor.
+    pub fn new(grid_ctas: u32, threads_per_cta: u32) -> LaunchDims {
+        LaunchDims {
+            grid_ctas,
+            threads_per_cta,
+        }
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> u64 {
+        u64::from(self.grid_ctas) * u64::from(self.threads_per_cta)
+    }
+}
+
+/// Per-thread/per-CTA resource demands of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelResources {
+    /// Registers per thread.
+    pub registers_per_thread: u32,
+    /// Shared memory per CTA, bytes.
+    pub shared_per_cta: u32,
+}
+
+/// Work quantities accumulated while executing a kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelQuantities {
+    /// Bytes read from global memory.
+    pub global_bytes_read: u64,
+    /// Bytes written to global memory.
+    pub global_bytes_written: u64,
+    /// Bytes read from shared memory.
+    pub shared_bytes_read: u64,
+    /// Bytes written to shared memory.
+    pub shared_bytes_written: u64,
+    /// ALU operations.
+    pub alu_ops: u64,
+    /// CTA-wide barriers (counted once per CTA per barrier statement).
+    pub barriers: u64,
+}
+
+impl KernelQuantities {
+    /// Accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &KernelQuantities) {
+        self.global_bytes_read += other.global_bytes_read;
+        self.global_bytes_written += other.global_bytes_written;
+        self.shared_bytes_read += other.shared_bytes_read;
+        self.shared_bytes_written += other.shared_bytes_written;
+        self.alu_ops += other.alu_ops;
+        self.barriers += other.barriers;
+    }
+}
+
+/// Cycle breakdown of one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Launch overhead cycles.
+    pub launch_cycles: u64,
+    /// Global-memory access cycles.
+    pub global_cycles: u64,
+    /// Shared-memory access cycles.
+    pub shared_cycles: u64,
+    /// ALU cycles.
+    pub alu_cycles: u64,
+    /// Barrier cycles.
+    pub barrier_cycles: u64,
+    /// Occupancy achieved by this kernel.
+    pub occupancy: Occupancy,
+}
+
+impl KernelCost {
+    /// Total cycles for the kernel.
+    pub fn total_cycles(&self) -> u64 {
+        self.launch_cycles
+            + self.global_cycles
+            + self.shared_cycles
+            + self.alu_cycles
+            + self.barrier_cycles
+    }
+}
+
+/// Compute the cost of a kernel execution.
+///
+/// Returns `None` when the resource demands fit no CTA on an SM (the caller
+/// converts that into [`crate::SimError::InfeasibleLaunch`]).
+pub fn kernel_cost(
+    cfg: &DeviceConfig,
+    dims: LaunchDims,
+    res: KernelResources,
+    q: &KernelQuantities,
+) -> Option<KernelCost> {
+    let occ = occupancy(
+        cfg,
+        dims.threads_per_cta,
+        res.registers_per_thread,
+        res.shared_per_cta,
+    );
+    if occ.ctas_per_sm == 0 {
+        return None;
+    }
+
+    // Bandwidth degradation: low occupancy fails to hide DRAM latency.
+    let bw_factor = (occ.occupancy / cfg.bandwidth_saturation_occupancy).min(1.0);
+    // Grid under-utilization: a grid smaller than one full wave cannot use
+    // every SM.
+    let resident_ctas = u64::from(cfg.sm_count) * u64::from(occ.ctas_per_sm);
+    let util = (dims.grid_ctas as f64 / resident_ctas as f64).min(1.0);
+    let mem_derate = (bw_factor * util).max(1e-3);
+
+    let global_bytes = (q.global_bytes_read + q.global_bytes_written) as f64;
+    let global_cycles = (global_bytes / cfg.global_bytes_per_cycle() / mem_derate).round() as u64;
+
+    let shared_bytes = (q.shared_bytes_read + q.shared_bytes_written) as f64;
+    let shared_cycles =
+        (shared_bytes / cfg.shared_bytes_per_cycle() / util.max(1e-3)).round() as u64;
+
+    let alu_cycles = (q.alu_ops as f64 / cfg.alu_ops_per_cycle / util.max(1e-3)).round() as u64;
+
+    let barrier_cycles = q.barriers * cfg.barrier_cycles;
+
+    Some(KernelCost {
+        launch_cycles: cfg.kernel_launch_cycles,
+        global_cycles,
+        shared_cycles,
+        alu_cycles,
+        barrier_cycles,
+        occupancy: occ,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::fermi_c2050()
+    }
+
+    fn big_dims() -> LaunchDims {
+        LaunchDims::new(4096, 256)
+    }
+
+    fn light_res() -> KernelResources {
+        KernelResources {
+            registers_per_thread: 20,
+            shared_per_cta: 2048,
+        }
+    }
+
+    #[test]
+    fn global_traffic_dominates_ra_kernels() {
+        let q = KernelQuantities {
+            global_bytes_read: 64 << 20,
+            global_bytes_written: 32 << 20,
+            alu_ops: 4 << 20,
+            ..KernelQuantities::default()
+        };
+        let c = kernel_cost(&cfg(), big_dims(), light_res(), &q).unwrap();
+        assert!(c.global_cycles > 10 * c.alu_cycles);
+        assert!(c.total_cycles() > c.global_cycles);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_bytes() {
+        let q1 = KernelQuantities {
+            global_bytes_read: 1 << 20,
+            ..KernelQuantities::default()
+        };
+        let q2 = KernelQuantities {
+            global_bytes_read: 2 << 20,
+            ..KernelQuantities::default()
+        };
+        let c1 = kernel_cost(&cfg(), big_dims(), light_res(), &q1).unwrap();
+        let c2 = kernel_cost(&cfg(), big_dims(), light_res(), &q2).unwrap();
+        assert!((c2.global_cycles as f64 / c1.global_cycles as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn low_occupancy_raises_global_cost() {
+        let q = KernelQuantities {
+            global_bytes_read: 16 << 20,
+            ..KernelQuantities::default()
+        };
+        let heavy = KernelResources {
+            registers_per_thread: 20,
+            shared_per_cta: 26 << 10, // 1 CTA/SM -> 8 warps of 48
+        };
+        let c_light = kernel_cost(&cfg(), big_dims(), light_res(), &q).unwrap();
+        let c_heavy = kernel_cost(&cfg(), big_dims(), heavy, &q).unwrap();
+        assert!(c_heavy.global_cycles > c_light.global_cycles);
+    }
+
+    #[test]
+    fn shared_is_cheaper_than_global() {
+        let qg = KernelQuantities {
+            global_bytes_read: 8 << 20,
+            ..KernelQuantities::default()
+        };
+        let qs = KernelQuantities {
+            shared_bytes_read: 8 << 20,
+            ..KernelQuantities::default()
+        };
+        let cg = kernel_cost(&cfg(), big_dims(), light_res(), &qg).unwrap();
+        let cs = kernel_cost(&cfg(), big_dims(), light_res(), &qs).unwrap();
+        assert!(cg.global_cycles > 4 * cs.shared_cycles);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let res = KernelResources {
+            registers_per_thread: 64,
+            shared_per_cta: 0,
+        };
+        assert!(kernel_cost(&cfg(), big_dims(), res, &KernelQuantities::default()).is_none());
+    }
+
+    #[test]
+    fn small_grid_underutilizes() {
+        let q = KernelQuantities {
+            global_bytes_read: 16 << 20,
+            ..KernelQuantities::default()
+        };
+        let small = LaunchDims::new(4, 256);
+        let cs = kernel_cost(&cfg(), small, light_res(), &q).unwrap();
+        let cb = kernel_cost(&cfg(), big_dims(), light_res(), &q).unwrap();
+        assert!(cs.global_cycles > cb.global_cycles);
+    }
+
+    #[test]
+    fn barriers_cost() {
+        let q = KernelQuantities {
+            barriers: 100,
+            ..KernelQuantities::default()
+        };
+        let c = kernel_cost(&cfg(), big_dims(), light_res(), &q).unwrap();
+        assert_eq!(c.barrier_cycles, 100 * cfg().barrier_cycles);
+    }
+}

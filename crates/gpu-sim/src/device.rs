@@ -1,0 +1,265 @@
+//! The simulated device facade.
+//!
+//! [`Device`] owns the memory tracker, statistics and event timeline, and is
+//! the single place where kernel launches and PCIe transfers are charged.
+
+use crate::{
+    kernel_cost, pcie_seconds, BufferId, DeviceConfig, Direction, Event, KernelCost,
+    KernelQuantities, KernelResources, LaunchDims, MemoryTracker, Result, SimError, SimStats,
+};
+
+/// A simulated GPU.
+///
+/// # Examples
+///
+/// ```
+/// use kw_gpu_sim::{Device, DeviceConfig, LaunchDims, KernelResources, KernelQuantities};
+///
+/// let mut dev = Device::new(DeviceConfig::fermi_c2050());
+/// let buf = dev.alloc(1 << 20, "input")?;
+/// let cost = dev.launch(
+///     "select.compute",
+///     LaunchDims::new(1024, 256),
+///     KernelResources { registers_per_thread: 18, shared_per_cta: 2048 },
+///     &KernelQuantities { global_bytes_read: 1 << 20, ..Default::default() },
+/// )?;
+/// assert!(cost.total_cycles() > 0);
+/// dev.free(buf)?;
+/// # Ok::<(), kw_gpu_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    config: DeviceConfig,
+    memory: MemoryTracker,
+    stats: SimStats,
+    timeline: Vec<Event>,
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Device {
+        let memory = MemoryTracker::new(config.global_mem_bytes);
+        Device {
+            config,
+            memory,
+            stats: SimStats::default(),
+            timeline: Vec::new(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The memory tracker.
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    /// The recorded event timeline.
+    pub fn timeline(&self) -> &[Event] {
+        &self.timeline
+    }
+
+    /// Reset statistics and timeline (allocations survive).
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+        self.timeline.clear();
+    }
+
+    /// Allocate a global-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] past device capacity.
+    pub fn alloc(&mut self, bytes: u64, label: impl Into<String>) -> Result<BufferId> {
+        let label = label.into();
+        let id = self.memory.alloc(bytes, label.clone())?;
+        self.timeline.push(Event::Alloc { label, bytes });
+        Ok(id)
+    }
+
+    /// Free a global-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidBuffer`] for unknown ids.
+    pub fn free(&mut self, id: BufferId) -> Result<()> {
+        let bytes = self.memory.size_of(id)?;
+        self.memory.free(id)?;
+        self.timeline.push(Event::Free { bytes });
+        Ok(())
+    }
+
+    /// Charge one kernel execution and record it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InfeasibleLaunch`] when the per-thread registers
+    /// or per-CTA shared memory fit no CTA on an SM — the constraint that
+    /// the paper's Algorithm 2 exists to respect.
+    pub fn launch(
+        &mut self,
+        label: impl Into<String>,
+        dims: LaunchDims,
+        res: KernelResources,
+        q: &KernelQuantities,
+    ) -> Result<KernelCost> {
+        let label = label.into();
+        let cost = kernel_cost(&self.config, dims, res, q).ok_or_else(|| {
+            SimError::InfeasibleLaunch {
+                detail: format!(
+                    "{label}: {} regs/thread, {} B shared/CTA, {} threads/CTA",
+                    res.registers_per_thread, res.shared_per_cta, dims.threads_per_cta
+                ),
+            }
+        })?;
+
+        self.stats.kernel_launches += 1;
+        self.stats.launch_cycles += cost.launch_cycles;
+        self.stats.global_bytes_read += q.global_bytes_read;
+        self.stats.global_bytes_written += q.global_bytes_written;
+        self.stats.global_access_cycles += cost.global_cycles;
+        self.stats.shared_bytes_read += q.shared_bytes_read;
+        self.stats.shared_bytes_written += q.shared_bytes_written;
+        self.stats.shared_access_cycles += cost.shared_cycles;
+        self.stats.alu_ops += q.alu_ops;
+        self.stats.alu_cycles += cost.alu_cycles;
+        self.stats.barriers += q.barriers;
+        self.stats.barrier_cycles += cost.barrier_cycles;
+        self.stats.gpu_cycles += cost.total_cycles();
+
+        self.timeline.push(Event::Kernel {
+            label,
+            cycles: cost.total_cycles(),
+            global_cycles: cost.global_cycles,
+            occupancy: cost.occupancy,
+            grid_ctas: dims.grid_ctas,
+            threads_per_cta: dims.threads_per_cta,
+        });
+        Ok(cost)
+    }
+
+    /// Charge a PCIe transfer and record it. Returns the transfer seconds.
+    pub fn transfer(&mut self, direction: Direction, bytes: u64) -> f64 {
+        let seconds = pcie_seconds(&self.config, bytes);
+        match direction {
+            Direction::HostToDevice => {
+                self.stats.h2d_transfers += 1;
+                self.stats.h2d_bytes += bytes;
+            }
+            Direction::DeviceToHost => {
+                self.stats.d2h_transfers += 1;
+                self.stats.d2h_bytes += bytes;
+            }
+        }
+        self.stats.pcie_seconds += seconds;
+        self.timeline.push(Event::Transfer {
+            direction,
+            bytes,
+            seconds,
+        });
+        seconds
+    }
+
+    /// Seconds of GPU computation so far.
+    pub fn gpu_seconds(&self) -> f64 {
+        self.config.cycles_to_seconds(self.stats.gpu_cycles)
+    }
+
+    /// Seconds of PCIe transfer so far.
+    pub fn pcie_secs(&self) -> f64 {
+        self.stats.pcie_seconds
+    }
+
+    /// GPU + PCIe seconds (the paper's Figure 21 "overall" metric; the
+    /// simulator serializes computation and transfer as the paper's
+    /// baseline runtime does).
+    pub fn total_seconds(&self) -> f64 {
+        self.gpu_seconds() + self.pcie_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::fermi_c2050())
+    }
+
+    fn quantities(bytes: u64) -> KernelQuantities {
+        KernelQuantities {
+            global_bytes_read: bytes,
+            ..KernelQuantities::default()
+        }
+    }
+
+    #[test]
+    fn launch_updates_stats_and_timeline() {
+        let mut d = device();
+        let res = KernelResources {
+            registers_per_thread: 20,
+            shared_per_cta: 1024,
+        };
+        d.launch("k1", LaunchDims::new(512, 256), res, &quantities(1 << 20))
+            .unwrap();
+        assert_eq!(d.stats().kernel_launches, 1);
+        assert_eq!(d.stats().global_bytes_read, 1 << 20);
+        assert!(d.stats().gpu_cycles > 0);
+        assert_eq!(d.timeline().len(), 1);
+        assert!(d.gpu_seconds() > 0.0);
+    }
+
+    #[test]
+    fn infeasible_launch_rejected() {
+        let mut d = device();
+        let res = KernelResources {
+            registers_per_thread: 200,
+            shared_per_cta: 0,
+        };
+        let err = d
+            .launch("bad", LaunchDims::new(1, 256), res, &KernelQuantities::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::InfeasibleLaunch { .. }));
+        assert_eq!(d.stats().kernel_launches, 0);
+    }
+
+    #[test]
+    fn transfer_updates_stats() {
+        let mut d = device();
+        let t = d.transfer(Direction::HostToDevice, 1 << 30);
+        assert!(t > 0.1);
+        d.transfer(Direction::DeviceToHost, 1 << 20);
+        assert_eq!(d.stats().h2d_transfers, 1);
+        assert_eq!(d.stats().d2h_transfers, 1);
+        assert!((d.pcie_secs() - d.stats().pcie_seconds).abs() < 1e-12);
+        assert!(d.total_seconds() >= d.pcie_secs());
+    }
+
+    #[test]
+    fn alloc_free_tracked_in_timeline() {
+        let mut d = device();
+        let b = d.alloc(1024, "x").unwrap();
+        d.free(b).unwrap();
+        assert_eq!(d.timeline().len(), 2);
+        assert_eq!(d.memory().peak(), 1024);
+    }
+
+    #[test]
+    fn reset_stats_preserves_memory() {
+        let mut d = device();
+        let _b = d.alloc(1024, "x").unwrap();
+        d.transfer(Direction::HostToDevice, 100);
+        d.reset_stats();
+        assert_eq!(d.stats().pcie_bytes(), 0);
+        assert!(d.timeline().is_empty());
+        assert_eq!(d.memory().in_use(), 1024);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the GPU simulator.
+
+use std::fmt;
+
+/// Errors produced by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A global-memory allocation exceeded device capacity.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently free.
+        free: u64,
+    },
+    /// A buffer id was used after free (or never allocated).
+    InvalidBuffer {
+        /// The offending buffer id.
+        id: u64,
+    },
+    /// A kernel was launched whose per-thread/per-CTA resources fit no CTA.
+    InfeasibleLaunch {
+        /// Human-readable description of the launch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { requested, free } => {
+                write!(f, "device out of memory: requested {requested} bytes, {free} free")
+            }
+            SimError::InvalidBuffer { id } => write!(f, "invalid device buffer id {id}"),
+            SimError::InfeasibleLaunch { detail } => {
+                write!(f, "kernel launch fits no CTA on an SM: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias for simulator results.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!SimError::InvalidBuffer { id: 3 }.to_string().is_empty());
+        assert!(SimError::OutOfMemory { requested: 10, free: 5 }
+            .to_string()
+            .contains("10"));
+    }
+}

@@ -1,0 +1,167 @@
+//! The occupancy calculator.
+//!
+//! Mirrors NVIDIA's `CUDA_Occupancy_calculator` for Fermi, which the paper
+//! uses to produce Table 3: given a kernel's threads/CTA, registers/thread
+//! and shared memory/CTA, compute how many CTAs fit on one SM and what
+//! fraction of the maximum resident warps stays active.
+
+use crate::DeviceConfig;
+
+/// Which resource limits the number of resident CTAs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// CTA slots per SM.
+    CtaSlots,
+    /// Resident warps/threads per SM.
+    Warps,
+    /// Register file capacity.
+    Registers,
+    /// Shared memory capacity.
+    SharedMemory,
+    /// The kernel fits no CTA at all (over-sized request).
+    Infeasible,
+}
+
+/// Result of an occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident CTAs per SM.
+    pub ctas_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// `warps_per_sm / max_warps_per_sm`.
+    pub occupancy: f64,
+    /// The binding resource.
+    pub limiter: OccupancyLimiter,
+}
+
+/// Compute occupancy for a kernel with the given per-thread register count,
+/// per-CTA shared memory (bytes) and CTA size (threads).
+///
+/// # Examples
+///
+/// ```
+/// use kw_gpu_sim::{occupancy, DeviceConfig};
+/// let cfg = DeviceConfig::fermi_c2050();
+/// // 256-thread CTAs at 20 regs/thread, 2 KiB shared: full occupancy.
+/// let occ = occupancy(&cfg, 256, 20, 2048);
+/// assert!(occ.occupancy > 0.99);
+/// ```
+pub fn occupancy(
+    cfg: &DeviceConfig,
+    threads_per_cta: u32,
+    registers_per_thread: u32,
+    shared_per_cta: u32,
+) -> Occupancy {
+    let threads = threads_per_cta.max(1).min(cfg.max_threads_per_cta);
+    let warps_per_cta = threads.div_ceil(cfg.warp_size);
+
+    // CTA slot limit.
+    let by_slots = cfg.max_ctas_per_sm;
+    // Warp limit.
+    let by_warps = cfg.max_warps_per_sm / warps_per_cta.max(1);
+    // Register limit: registers are allocated per warp at a granularity.
+    let regs_per_warp =
+        round_up(registers_per_thread.max(1) * cfg.warp_size, cfg.register_granularity);
+    let by_regs = if registers_per_thread > cfg.max_registers_per_thread {
+        0
+    } else {
+        cfg.registers_per_sm / (regs_per_warp * warps_per_cta).max(1)
+    };
+    // Shared-memory limit.
+    let shared = round_up(shared_per_cta, cfg.shared_granularity);
+    let by_shared = cfg
+        .shared_mem_per_sm
+        .checked_div(shared)
+        .unwrap_or(cfg.max_ctas_per_sm);
+
+    let ctas = by_slots.min(by_warps).min(by_regs).min(by_shared);
+    let limiter = if ctas == 0 {
+        OccupancyLimiter::Infeasible
+    } else if ctas == by_slots {
+        OccupancyLimiter::CtaSlots
+    } else if ctas == by_warps {
+        OccupancyLimiter::Warps
+    } else if ctas == by_regs {
+        OccupancyLimiter::Registers
+    } else {
+        OccupancyLimiter::SharedMemory
+    };
+
+    let warps = ctas * warps_per_cta;
+    Occupancy {
+        ctas_per_sm: ctas,
+        warps_per_sm: warps,
+        occupancy: f64::from(warps) / f64::from(cfg.max_warps_per_sm),
+        limiter,
+    }
+}
+
+fn round_up(v: u32, granularity: u32) -> u32 {
+    if granularity == 0 {
+        v
+    } else {
+        v.div_ceil(granularity) * granularity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::fermi_c2050()
+    }
+
+    #[test]
+    fn light_kernel_reaches_full_occupancy() {
+        let o = occupancy(&cfg(), 256, 16, 0);
+        assert_eq!(o.warps_per_sm, 48);
+        assert!((o.occupancy - 1.0).abs() < 1e-9);
+        assert_eq!(o.limiter, OccupancyLimiter::Warps);
+    }
+
+    #[test]
+    fn register_pressure_lowers_occupancy() {
+        let low = occupancy(&cfg(), 256, 20, 0);
+        let high = occupancy(&cfg(), 256, 55, 0);
+        assert!(high.occupancy < low.occupancy);
+        assert_eq!(high.limiter, OccupancyLimiter::Registers);
+    }
+
+    #[test]
+    fn shared_pressure_lowers_occupancy() {
+        // 23 KiB/CTA -> only 2 CTAs fit in 48 KiB.
+        let o = occupancy(&cfg(), 256, 20, 23 * 1024);
+        assert_eq!(o.ctas_per_sm, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn oversized_kernel_is_infeasible() {
+        let o = occupancy(&cfg(), 256, 64, 0);
+        assert_eq!(o.ctas_per_sm, 0);
+        assert_eq!(o.limiter, OccupancyLimiter::Infeasible);
+
+        let o = occupancy(&cfg(), 256, 20, 64 * 1024);
+        assert_eq!(o.limiter, OccupancyLimiter::Infeasible);
+    }
+
+    #[test]
+    fn cta_slot_limit() {
+        // Tiny CTAs: 32 threads each, slots bind at 8 CTAs = 8 warps of 48.
+        let o = occupancy(&cfg(), 32, 16, 0);
+        assert_eq!(o.ctas_per_sm, 8);
+        assert_eq!(o.limiter, OccupancyLimiter::CtaSlots);
+        assert!((o.occupancy - 8.0 / 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_published_fermi_point() {
+        // A known Fermi occupancy-calculator point: 256 threads, 32 regs,
+        // 0 shared -> 4 CTAs (32768 / (32*32*8 rounded to 1024*8)) = 4.
+        let o = occupancy(&cfg(), 256, 32, 0);
+        assert_eq!(o.ctas_per_sm, 4);
+        assert!((o.occupancy - 32.0 / 48.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+//! PCIe transfer model.
+//!
+//! The paper's Figure 1 motivates kernel fusion with the order-of-magnitude
+//! bandwidth gap between GPU DRAM and the PCIe link to host memory. The
+//! model is latency + bytes/bandwidth per transfer.
+
+use crate::DeviceConfig;
+
+/// Direction of a PCIe transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Host to device.
+    HostToDevice,
+    /// Device to host.
+    DeviceToHost,
+}
+
+/// Time in seconds to move `bytes` over PCIe under `cfg`.
+///
+/// # Examples
+///
+/// ```
+/// use kw_gpu_sim::{pcie_seconds, DeviceConfig};
+/// let cfg = DeviceConfig::fermi_c2050();
+/// let t = pcie_seconds(&cfg, 8_000_000_000);
+/// assert!((t - 1.0).abs() < 0.01); // ~1 s at 8 GB/s
+/// ```
+pub fn pcie_seconds(cfg: &DeviceConfig, bytes: u64) -> f64 {
+    cfg.pcie_latency_us * 1e-6 + bytes as f64 / (cfg.pcie_bandwidth_gbs * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_floor() {
+        let cfg = DeviceConfig::fermi_c2050();
+        let t = pcie_seconds(&cfg, 0);
+        assert!((t - 10e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_term() {
+        let cfg = DeviceConfig::fermi_c2050();
+        let t1 = pcie_seconds(&cfg, 1 << 30);
+        let t2 = pcie_seconds(&cfg, 2 << 30);
+        assert!(t2 > t1 * 1.9);
+    }
+
+    #[test]
+    fn pcie_much_slower_than_dram() {
+        let cfg = DeviceConfig::fermi_c2050();
+        // Per-byte PCIe cost should exceed per-byte global-memory cost by
+        // an order of magnitude (the Fig. 1 motivation).
+        let pcie_per_byte = 1.0 / (cfg.pcie_bandwidth_gbs * 1e9);
+        let dram_per_byte = 1.0 / (cfg.global_bandwidth_gbs * 1e9);
+        assert!(pcie_per_byte > 10.0 * dram_per_byte);
+    }
+}

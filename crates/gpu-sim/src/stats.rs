@@ -1,0 +1,105 @@
+//! Execution statistics counters.
+//!
+//! These counters back the paper's measurements: global-memory access cycles
+//! (Fig. 18), allocated memory (Fig. 17, via [`crate::MemoryTracker`]), PCIe
+//! traffic and time (Fig. 21), kernel launch counts and barrier counts.
+
+/// Aggregate counters for one simulated execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Kernels launched.
+    pub kernel_launches: u64,
+    /// Cycles spent in kernel-launch overhead.
+    pub launch_cycles: u64,
+    /// Bytes read from global memory by kernels.
+    pub global_bytes_read: u64,
+    /// Bytes written to global memory by kernels.
+    pub global_bytes_written: u64,
+    /// Cycles attributed to global-memory access (the Fig. 18 metric).
+    pub global_access_cycles: u64,
+    /// Bytes read from shared memory.
+    pub shared_bytes_read: u64,
+    /// Bytes written to shared memory.
+    pub shared_bytes_written: u64,
+    /// Cycles attributed to shared-memory access.
+    pub shared_access_cycles: u64,
+    /// ALU operations executed.
+    pub alu_ops: u64,
+    /// Cycles attributed to ALU work.
+    pub alu_cycles: u64,
+    /// CTA-wide barrier synchronizations executed.
+    pub barriers: u64,
+    /// Cycles attributed to barriers.
+    pub barrier_cycles: u64,
+    /// Total GPU cycles (sum of all kernel costs).
+    pub gpu_cycles: u64,
+    /// Host-to-device PCIe transfers.
+    pub h2d_transfers: u64,
+    /// Host-to-device bytes.
+    pub h2d_bytes: u64,
+    /// Device-to-host PCIe transfers.
+    pub d2h_transfers: u64,
+    /// Device-to-host bytes.
+    pub d2h_bytes: u64,
+    /// Seconds spent on PCIe transfers.
+    pub pcie_seconds: f64,
+}
+
+impl SimStats {
+    /// Total bytes moved through global memory.
+    pub fn global_bytes(&self) -> u64 {
+        self.global_bytes_read + self.global_bytes_written
+    }
+
+    /// Total PCIe bytes in both directions.
+    pub fn pcie_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Accumulate another stats block into this one.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.kernel_launches += other.kernel_launches;
+        self.launch_cycles += other.launch_cycles;
+        self.global_bytes_read += other.global_bytes_read;
+        self.global_bytes_written += other.global_bytes_written;
+        self.global_access_cycles += other.global_access_cycles;
+        self.shared_bytes_read += other.shared_bytes_read;
+        self.shared_bytes_written += other.shared_bytes_written;
+        self.shared_access_cycles += other.shared_access_cycles;
+        self.alu_ops += other.alu_ops;
+        self.alu_cycles += other.alu_cycles;
+        self.barriers += other.barriers;
+        self.barrier_cycles += other.barrier_cycles;
+        self.gpu_cycles += other.gpu_cycles;
+        self.h2d_transfers += other.h2d_transfers;
+        self.h2d_bytes += other.h2d_bytes;
+        self.d2h_transfers += other.d2h_transfers;
+        self.d2h_bytes += other.d2h_bytes;
+        self.pcie_seconds += other.pcie_seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SimStats {
+            kernel_launches: 1,
+            global_bytes_read: 10,
+            pcie_seconds: 0.5,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            kernel_launches: 2,
+            global_bytes_written: 5,
+            pcie_seconds: 0.25,
+            ..SimStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.kernel_launches, 3);
+        assert_eq!(a.global_bytes(), 15);
+        assert!((a.pcie_seconds - 0.75).abs() < 1e-12);
+    }
+}

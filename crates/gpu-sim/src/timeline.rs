@@ -1,0 +1,104 @@
+//! Execution event timeline.
+//!
+//! Every kernel launch, PCIe transfer and allocation is recorded in order,
+//! which gives experiments a per-operator cost breakdown (e.g. "SORT is 71%
+//! of TPC-H Q1" in the paper's Section 5.2).
+
+use crate::Occupancy;
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A kernel execution.
+    Kernel {
+        /// Kernel label (operator/stage name).
+        label: String,
+        /// Total cycles charged.
+        cycles: u64,
+        /// Cycles charged to global-memory access.
+        global_cycles: u64,
+        /// Achieved occupancy.
+        occupancy: Occupancy,
+        /// CTAs in the grid.
+        grid_ctas: u32,
+        /// Threads per CTA.
+        threads_per_cta: u32,
+    },
+    /// A PCIe transfer.
+    Transfer {
+        /// Direction of the transfer.
+        direction: crate::Direction,
+        /// Bytes moved.
+        bytes: u64,
+        /// Seconds taken.
+        seconds: f64,
+    },
+    /// A device allocation.
+    Alloc {
+        /// Buffer label.
+        label: String,
+        /// Bytes allocated.
+        bytes: u64,
+    },
+    /// A device free.
+    Free {
+        /// Bytes released.
+        bytes: u64,
+    },
+}
+
+impl Event {
+    /// GPU cycles contributed by this event (zero for transfers and
+    /// allocation bookkeeping).
+    pub fn cycles(&self) -> u64 {
+        match self {
+            Event::Kernel { cycles, .. } => *cycles,
+            _ => 0,
+        }
+    }
+
+    /// The kernel label, if this event is a kernel.
+    pub fn kernel_label(&self) -> Option<&str> {
+        match self {
+            Event::Kernel { label, .. } => Some(label),
+            _ => None,
+        }
+    }
+}
+
+/// Sum the cycles of all kernels whose label contains `needle`.
+pub fn cycles_for_label(events: &[Event], needle: &str) -> u64 {
+    events
+        .iter()
+        .filter(|e| e.kernel_label().is_some_and(|l| l.contains(needle)))
+        .map(Event::cycles)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{occupancy, DeviceConfig};
+
+    #[test]
+    fn label_filtering() {
+        let occ = occupancy(&DeviceConfig::fermi_c2050(), 256, 20, 0);
+        let mk = |label: &str, cycles| Event::Kernel {
+            label: label.into(),
+            cycles,
+            global_cycles: 0,
+            occupancy: occ,
+            grid_ctas: 1,
+            threads_per_cta: 256,
+        };
+        let events = vec![
+            mk("sort.partition", 10),
+            mk("sort.compute", 20),
+            mk("select.compute", 5),
+            Event::Free { bytes: 1 },
+        ];
+        assert_eq!(cycles_for_label(&events, "sort"), 30);
+        assert_eq!(cycles_for_label(&events, "select"), 5);
+        assert_eq!(events[3].cycles(), 0);
+    }
+}

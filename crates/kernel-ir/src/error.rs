@@ -1,0 +1,78 @@
+//! Error type for the kernel IR.
+
+use std::fmt;
+
+/// Errors produced while validating, optimizing or executing kernel IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// The IR is structurally invalid (use before def, bad slot id, missing
+    /// barrier, unstored output, ...).
+    Validation {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A relational-level error (schema mismatch, bad attribute) surfaced
+    /// while inferring schemas or executing steps.
+    Relational(kw_relational::RelationalError),
+    /// A device-level error (out of memory, infeasible launch).
+    Sim(kw_gpu_sim::SimError),
+}
+
+impl IrError {
+    /// Convenience constructor for validation failures.
+    pub fn validation(detail: impl Into<String>) -> IrError {
+        IrError::Validation {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Validation { detail } => write!(f, "invalid kernel IR: {detail}"),
+            IrError::Relational(e) => write!(f, "relational error in kernel IR: {e}"),
+            IrError::Sim(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IrError::Validation { .. } => None,
+            IrError::Relational(e) => Some(e),
+            IrError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<kw_relational::RelationalError> for IrError {
+    fn from(e: kw_relational::RelationalError) -> Self {
+        IrError::Relational(e)
+    }
+}
+
+impl From<kw_gpu_sim::SimError> for IrError {
+    fn from(e: kw_gpu_sim::SimError) -> Self {
+        IrError::Sim(e)
+    }
+}
+
+/// Convenience alias for kernel-IR results.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = IrError::validation("slot %3 used before definition");
+        assert!(e.to_string().contains("%3"));
+        assert!(e.source().is_none());
+        let e: IrError = kw_gpu_sim::SimError::InvalidBuffer { id: 1 }.into();
+        assert!(e.source().is_some());
+    }
+}

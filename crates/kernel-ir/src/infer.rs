@@ -1,0 +1,417 @@
+//! Schema inference over kernel IR.
+//!
+//! Walks the step list, deriving the tuple schema held by every slot and the
+//! schema of every global output. Inference is the backbone of validation,
+//! resource estimation (shared-memory sizing needs tuple widths) and the
+//! interpreter.
+
+use kw_relational::ops::AggFn;
+use kw_relational::{AttrType, Schema};
+
+use crate::{GpuOperator, IrError, OperatorBody, Result, Step};
+
+/// Inferred schemas for a streaming operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferredSchemas {
+    /// Schema per slot (`None` for never-written slots).
+    pub slots: Vec<Option<Schema>>,
+    /// Schema per global output.
+    pub outputs: Vec<Option<Schema>>,
+}
+
+impl InferredSchemas {
+    /// Schema of slot `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error if the slot has no schema (never written).
+    pub fn slot(&self, id: crate::SlotId) -> Result<&Schema> {
+        self.slots
+            .get(id.0)
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| IrError::validation(format!("slot {id} has no inferred schema")))
+    }
+}
+
+/// Infer slot and output schemas for `op`.
+///
+/// # Errors
+///
+/// Returns [`IrError::Validation`] for structural problems (bad slot or
+/// input indices, use before definition, double definition) and
+/// [`IrError::Relational`] when a step's schemas are incompatible.
+pub fn infer_schemas(op: &GpuOperator) -> Result<InferredSchemas> {
+    match &op.body {
+        OperatorBody::Streaming { slots, steps, .. } => {
+            infer_streaming(op, slots.len(), steps)
+        }
+        OperatorBody::GlobalSort { attrs } => {
+            let input = single_input(op)?;
+            let schema = sorted_schema(input, attrs)?;
+            Ok(InferredSchemas {
+                slots: vec![],
+                outputs: vec![Some(schema)],
+            })
+        }
+        OperatorBody::GlobalAggregate { group_by, aggs } => {
+            let input = single_input(op)?;
+            let schema = aggregate_schema(input, group_by, aggs)?;
+            Ok(InferredSchemas {
+                slots: vec![],
+                outputs: vec![Some(schema)],
+            })
+        }
+    }
+}
+
+fn single_input(op: &GpuOperator) -> Result<&Schema> {
+    if op.inputs.len() != 1 {
+        return Err(IrError::validation(format!(
+            "global operator {} must have exactly one input, has {}",
+            op.label,
+            op.inputs.len()
+        )));
+    }
+    Ok(&op.inputs[0])
+}
+
+/// Schema after sorting on `attrs` (they are moved to the front and become
+/// the key, mirroring [`kw_relational::ops::sort_on`]).
+pub fn sorted_schema(input: &Schema, attrs: &[usize]) -> Result<Schema> {
+    let mut order: Vec<usize> = attrs.to_vec();
+    for a in 0..input.arity() {
+        if !attrs.contains(&a) {
+            order.push(a);
+        }
+    }
+    Ok(input.project(&order, attrs.len().max(1).min(order.len()))?)
+}
+
+/// Schema of a grouped aggregation result.
+pub fn aggregate_schema(input: &Schema, group_by: &[usize], aggs: &[AggFn]) -> Result<Schema> {
+    let mut attrs = Vec::with_capacity(group_by.len() + aggs.len());
+    for &g in group_by {
+        if g >= input.arity() {
+            return Err(kw_relational::RelationalError::AttrOutOfBounds {
+                attr: g,
+                arity: input.arity(),
+            }
+            .into());
+        }
+        attrs.push(input.attr(g));
+    }
+    for agg in aggs {
+        attrs.push(agg_result_type(input, *agg)?);
+    }
+    if attrs.is_empty() {
+        return Err(IrError::validation(
+            "aggregate with no group attributes and no aggregates",
+        ));
+    }
+    Ok(Schema::new(attrs, group_by.len()))
+}
+
+fn agg_result_type(input: &Schema, agg: AggFn) -> Result<AttrType> {
+    let check = |a: usize| -> Result<AttrType> {
+        if a >= input.arity() {
+            return Err(kw_relational::RelationalError::AttrOutOfBounds {
+                attr: a,
+                arity: input.arity(),
+            }
+            .into());
+        }
+        Ok(input.attr(a))
+    };
+    Ok(match agg {
+        AggFn::Count => AttrType::U64,
+        AggFn::Avg(a) => {
+            check(a)?;
+            AttrType::F32
+        }
+        AggFn::Sum(a) => match check(a)? {
+            AttrType::F32 => AttrType::F32,
+            _ => AttrType::U64,
+        },
+        AggFn::Min(a) | AggFn::Max(a) => check(a)?,
+    })
+}
+
+fn infer_streaming(op: &GpuOperator, slot_count: usize, steps: &[Step]) -> Result<InferredSchemas> {
+    let mut slots: Vec<Option<Schema>> = vec![None; slot_count];
+    let mut outputs: Vec<Option<Schema>> = vec![None; op.outputs];
+
+    let get = |slots: &[Option<Schema>], id: crate::SlotId| -> Result<Schema> {
+        if id.0 >= slot_count {
+            return Err(IrError::validation(format!("slot {id} out of range")));
+        }
+        slots[id.0]
+            .clone()
+            .ok_or_else(|| IrError::validation(format!("slot {id} used before definition")))
+    };
+    let set = |slots: &mut Vec<Option<Schema>>, id: crate::SlotId, s: Schema| -> Result<()> {
+        if id.0 >= slot_count {
+            return Err(IrError::validation(format!("slot {id} out of range")));
+        }
+        if slots[id.0].is_some() {
+            return Err(IrError::validation(format!("slot {id} defined twice")));
+        }
+        slots[id.0] = Some(s);
+        Ok(())
+    };
+
+    for step in steps {
+        match step {
+            Step::Load { input, dst } => {
+                let schema = op.inputs.get(*input).cloned().ok_or_else(|| {
+                    IrError::validation(format!("load references missing input {input}"))
+                })?;
+                set(&mut slots, *dst, schema)?;
+            }
+            Step::Filter { src, pred, dst } => {
+                let s = get(&slots, *src)?;
+                pred.validate(&s)?;
+                set(&mut slots, *dst, s)?;
+            }
+            Step::Project {
+                src,
+                attrs,
+                key_arity,
+                dst,
+            } => {
+                let s = get(&slots, *src)?;
+                let p = s.project(attrs, *key_arity)?;
+                set(&mut slots, *dst, p)?;
+            }
+            Step::Compute {
+                src,
+                exprs,
+                key_arity,
+                dst,
+            } => {
+                let s = get(&slots, *src)?;
+                if exprs.is_empty() || *key_arity > exprs.len() {
+                    return Err(IrError::validation("compute with invalid output list"));
+                }
+                let attrs = exprs
+                    .iter()
+                    .map(|e| e.result_type(&s))
+                    .collect::<kw_relational::Result<Vec<_>>>()?;
+                set(&mut slots, *dst, Schema::new(attrs, *key_arity))?;
+            }
+            Step::Join {
+                left,
+                right,
+                key_len,
+                dst,
+            } => {
+                let l = get(&slots, *left)?;
+                let r = get(&slots, *right)?;
+                let j = kw_relational::ops::join_schema(&l, &r, *key_len)?;
+                set(&mut slots, *dst, j)?;
+            }
+            Step::SemiJoin {
+                left,
+                right,
+                key_len,
+                dst,
+                ..
+            } => {
+                let l = get(&slots, *left)?;
+                let r = get(&slots, *right)?;
+                if *key_len == 0 || *key_len > l.key_arity() || *key_len > r.key_arity() {
+                    return Err(kw_relational::RelationalError::BadKeyArity {
+                        key_arity: *key_len,
+                        arity: l.key_arity().min(r.key_arity()),
+                    }
+                    .into());
+                }
+                for k in 0..*key_len {
+                    if l.attr(k) != r.attr(k) {
+                        return Err(kw_relational::RelationalError::SchemaMismatch {
+                            detail: format!("semi-join key attribute {k} type mismatch"),
+                        }
+                        .into());
+                    }
+                }
+                set(&mut slots, *dst, l)?;
+            }
+            Step::Product { left, right, dst } => {
+                let l = get(&slots, *left)?;
+                let r = get(&slots, *right)?;
+                let mut attrs = l.attrs().to_vec();
+                attrs.extend_from_slice(r.attrs());
+                set(&mut slots, *dst, Schema::new(attrs, l.key_arity()))?;
+            }
+            Step::SetOp {
+                left, right, dst, ..
+            } => {
+                let l = get(&slots, *left)?;
+                let r = get(&slots, *right)?;
+                if l != r {
+                    return Err(kw_relational::RelationalError::SchemaMismatch {
+                        detail: format!("set operation on {l} and {r}"),
+                    }
+                    .into());
+                }
+                set(&mut slots, *dst, l)?;
+            }
+            Step::Unique { src, dst } | Step::Compact { src, dst } => {
+                let s = get(&slots, *src)?;
+                set(&mut slots, *dst, s)?;
+            }
+            Step::Barrier => {}
+            Step::Store { src, output } => {
+                let s = get(&slots, *src)?;
+                let out = outputs.get_mut(*output).ok_or_else(|| {
+                    IrError::validation(format!("store references missing output {output}"))
+                })?;
+                if out.is_some() {
+                    return Err(IrError::validation(format!("output {output} stored twice")));
+                }
+                *out = Some(s);
+            }
+        }
+    }
+    Ok(InferredSchemas { slots, outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartitionSpec, SlotDecl, SlotId, Space};
+    use kw_relational::{CmpOp, Predicate, Value};
+
+    fn select_op() -> GpuOperator {
+        GpuOperator::streaming(
+            "select",
+            vec![Schema::uniform_u32(4)],
+            1,
+            vec![
+                SlotDecl::new("in", Space::Register),
+                SlotDecl::new("f", Space::Register),
+                SlotDecl::new("dense", Space::Shared),
+            ],
+            vec![
+                Step::Load {
+                    input: 0,
+                    dst: SlotId(0),
+                },
+                Step::Filter {
+                    src: SlotId(0),
+                    pred: Predicate::cmp(0, CmpOp::Lt, Value::U32(7)),
+                    dst: SlotId(1),
+                },
+                Step::Compact {
+                    src: SlotId(1),
+                    dst: SlotId(2),
+                },
+                Step::Barrier,
+                Step::Store {
+                    src: SlotId(2),
+                    output: 0,
+                },
+            ],
+            PartitionSpec::Even,
+        )
+    }
+
+    #[test]
+    fn select_inference() {
+        let inf = infer_schemas(&select_op()).unwrap();
+        assert_eq!(inf.slots.len(), 3);
+        assert!(inf.slots.iter().all(Option::is_some));
+        assert_eq!(inf.outputs[0], Some(Schema::uniform_u32(4)));
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        let mut op = select_op();
+        if let OperatorBody::Streaming { steps, .. } = &mut op.body {
+            steps.remove(0); // drop the Load
+        }
+        assert!(matches!(
+            infer_schemas(&op),
+            Err(IrError::Validation { .. })
+        ));
+    }
+
+    #[test]
+    fn double_def_rejected() {
+        let mut op = select_op();
+        if let OperatorBody::Streaming { steps, .. } = &mut op.body {
+            steps.insert(
+                1,
+                Step::Load {
+                    input: 0,
+                    dst: SlotId(0),
+                },
+            );
+        }
+        assert!(infer_schemas(&op).is_err());
+    }
+
+    #[test]
+    fn join_schema_inferred() {
+        let s = Schema::uniform_u32(2);
+        let op = GpuOperator::streaming(
+            "join",
+            vec![s.clone(), s],
+            1,
+            vec![
+                SlotDecl::new("l", Space::Shared),
+                SlotDecl::new("r", Space::Shared),
+                SlotDecl::new("o", Space::Shared),
+            ],
+            vec![
+                Step::Load {
+                    input: 0,
+                    dst: SlotId(0),
+                },
+                Step::Load {
+                    input: 1,
+                    dst: SlotId(1),
+                },
+                Step::Barrier,
+                Step::Join {
+                    left: SlotId(0),
+                    right: SlotId(1),
+                    key_len: 1,
+                    dst: SlotId(2),
+                },
+                Step::Barrier,
+                Step::Store {
+                    src: SlotId(2),
+                    output: 0,
+                },
+            ],
+            PartitionSpec::KeyRange {
+                pivot: 0,
+                key_len: 1,
+            },
+        );
+        let inf = infer_schemas(&op).unwrap();
+        assert_eq!(inf.outputs[0].as_ref().unwrap().arity(), 3);
+    }
+
+    #[test]
+    fn global_bodies_infer_outputs() {
+        let s = Schema::uniform_u32(3);
+        let sort = GpuOperator::global_sort("s", s.clone(), vec![2]);
+        let inf = infer_schemas(&sort).unwrap();
+        assert_eq!(inf.outputs[0].as_ref().unwrap().key_arity(), 1);
+
+        let agg = GpuOperator::global_aggregate("a", s, vec![0], vec![AggFn::Sum(1), AggFn::Count]);
+        let inf = infer_schemas(&agg).unwrap();
+        let schema = inf.outputs[0].as_ref().unwrap();
+        assert_eq!(schema.arity(), 3);
+        assert_eq!(schema.attr(1), AttrType::U64);
+    }
+
+    #[test]
+    fn missing_output_left_none() {
+        let mut op = select_op();
+        op.outputs = 2;
+        let inf = infer_schemas(&op).unwrap();
+        assert!(inf.outputs[1].is_none());
+    }
+}

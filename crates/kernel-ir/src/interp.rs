@@ -1,0 +1,863 @@
+//! The kernel interpreter: executes operators over real relations while
+//! charging the simulated device.
+//!
+//! Execution follows the paper's three-stage skeleton:
+//!
+//! 1. **partition** — one kernel computing per-CTA input ranges (even split,
+//!    binary-search key ranges, or replicate-right);
+//! 2. **compute** — one kernel running the step list per CTA over its
+//!    partition, producing real output tuples and accumulating work
+//!    quantities (bytes per memory space, ALU ops, barriers);
+//! 3. **gather** — one kernel densifying the per-CTA results into the
+//!    output relation.
+//!
+//! Kernel-dependent operators (SORT, grouped AGGREGATE) execute as
+//! multi-pass global kernels instead.
+//!
+//! ## Divergence model
+//!
+//! Runtime slots carry a *lane count* alongside their tuples: the number of
+//! thread lanes occupied. A filter into registers keeps its input's lanes
+//! (threads whose tuple failed the predicate idle but stay allocated — the
+//! Figure 20 effect), while stream compaction re-densifies lanes at the
+//! price of shared-memory traffic and a prefix sum.
+
+use kw_gpu_sim::{Device, KernelQuantities, KernelResources, LaunchDims};
+use kw_relational::{ops, Relation};
+
+use crate::{
+    estimate_resources, validate, GpuOperator, IrError, OperatorBody, OptLevel, PartitionSpec,
+    Result, SetOpKind, Space, Step,
+};
+
+/// Maximum CTAs per grid (CUDA's 65535 x-dimension limit).
+pub const MAX_GRID_CTAS: u32 = 65_535;
+
+/// Per-element local-memory spill bytes charged (each way) for every step
+/// at `-O0`: unoptimized PTX keeps working values in local memory, which
+/// resides in global DRAM.
+pub const O0_SPILL_BYTES: u64 = 8;
+
+/// Radix-sort passes charged per key attribute by the SORT cost model
+/// (eight 4-bit digit passes over a 32-bit key).
+pub const SORT_PASSES_PER_ATTR: u64 = 8;
+
+/// Result of executing one operator.
+#[derive(Debug)]
+pub struct ExecResult {
+    /// The produced output relations, in output order.
+    pub outputs: Vec<Relation>,
+    /// The resources the compute kernel occupied.
+    pub resources: KernelResources,
+    /// Kernels launched for this operator.
+    pub kernels: u64,
+}
+
+/// Execute `op` on `device` over `inputs`.
+///
+/// `opt` controls the `-O0` spill model: at [`OptLevel::O0`] register
+/// intermediates are charged as local-memory (global DRAM) traffic and no
+/// register reuse is assumed, mirroring unoptimized PTX.
+///
+/// # Errors
+///
+/// Returns [`IrError`] for invalid IR, schema-mismatched inputs, or device
+/// failures (out of memory, infeasible launch).
+pub fn execute(
+    op: &GpuOperator,
+    inputs: &[&Relation],
+    device: &mut Device,
+    opt: OptLevel,
+) -> Result<ExecResult> {
+    let inferred = validate(op)?;
+    if inputs.len() != op.inputs.len() {
+        return Err(IrError::validation(format!(
+            "operator {} expects {} inputs, got {}",
+            op.label,
+            op.inputs.len(),
+            inputs.len()
+        )));
+    }
+    for (i, r) in inputs.iter().enumerate() {
+        if r.schema() != &op.inputs[i] {
+            return Err(IrError::validation(format!(
+                "input {i} schema {} does not match declared {}",
+                r.schema(),
+                op.inputs[i]
+            )));
+        }
+    }
+
+    match &op.body {
+        OperatorBody::Streaming {
+            steps, partition, ..
+        } => execute_streaming(op, steps, *partition, inputs, &inferred, device, opt),
+        OperatorBody::GlobalSort { attrs } => execute_sort(op, attrs, inputs[0], device),
+        OperatorBody::GlobalAggregate { group_by, aggs } => {
+            execute_aggregate(op, group_by, aggs, inputs[0], device)
+        }
+    }
+}
+
+/// A runtime slot: real tuples plus the occupied lane count.
+#[derive(Debug, Clone)]
+struct RtSlot {
+    rel: Relation,
+    lanes: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_streaming(
+    op: &GpuOperator,
+    steps: &[Step],
+    partition: PartitionSpec,
+    inputs: &[&Relation],
+    inferred: &crate::InferredSchemas,
+    device: &mut Device,
+    opt: OptLevel,
+) -> Result<ExecResult> {
+    let resources = estimate_resources(op, inferred, opt)?;
+    let threads = op.threads_per_cta;
+
+    let pivot_index = match partition {
+        PartitionSpec::Even | PartitionSpec::ReplicateRight => 0,
+        PartitionSpec::KeyRange { pivot, .. } => pivot,
+    };
+    let n_pivot = inputs.get(pivot_index).map_or(0, |r| r.len());
+    let grid = ((n_pivot as u64).div_ceil(u64::from(threads)) as u32).clamp(1, MAX_GRID_CTAS);
+    let dims = LaunchDims::new(grid, threads);
+
+    // ---- Partition stage -------------------------------------------------
+    let ranges = compute_partitions(partition, inputs, grid)?;
+    let mut pq = KernelQuantities::default();
+    for r in inputs {
+        // The partition kernel reads one pivot tuple per CTA and binary
+        // searches each input.
+        let key_bytes = r.schema().tuple_bytes() as u64;
+        pq.global_bytes_read += u64::from(grid) * key_bytes.min(16);
+        pq.alu_ops += u64::from(grid) * ((r.len().max(2) as f64).log2().ceil() as u64);
+    }
+    device.launch(
+        format!("{}.partition", op.label),
+        dims,
+        KernelResources {
+            registers_per_thread: 16,
+            shared_per_cta: 0,
+        },
+        &pq,
+    )?;
+
+    // ---- Compute stage ---------------------------------------------------
+    let slot_count = op.slots().map(<[_]>::len).unwrap_or(0);
+    let mut q = KernelQuantities::default();
+    let mut out_words: Vec<Vec<u64>> = vec![Vec::new(); op.outputs];
+
+    for cta in 0..grid as usize {
+        let mut slots: Vec<Option<RtSlot>> = vec![None; slot_count];
+        for step in steps {
+            exec_step(
+                op, step, cta, &ranges, inputs, &mut slots, &mut q, &mut out_words, opt,
+            )?;
+        }
+    }
+    device.launch(format!("{}.compute", op.label), dims, resources, &q)?;
+
+    // ---- Gather stage ----------------------------------------------------
+    // The compute stage keeps each CTA's results on chip and records their
+    // sizes; gather prefix-sums the size array and performs the (single)
+    // dense global write — which the Store steps above already charged. The
+    // gather kernel itself only touches the per-CTA size array.
+    let mut outputs = Vec::with_capacity(op.outputs);
+    let mut gq = KernelQuantities::default();
+    for (i, words) in out_words.into_iter().enumerate() {
+        let schema = inferred.outputs[i]
+            .clone()
+            .ok_or_else(|| IrError::validation(format!("output {i} never stored")))?;
+        gq.global_bytes_read += u64::from(grid) * 8;
+        gq.global_bytes_written += u64::from(grid) * 8;
+        gq.alu_ops += u64::from(grid); // prefix sum over CTA result sizes
+        outputs.push(Relation::from_words(schema, words)?);
+    }
+    device.launch(
+        format!("{}.gather", op.label),
+        dims,
+        KernelResources {
+            registers_per_thread: 12,
+            shared_per_cta: 0,
+        },
+        &gq,
+    )?;
+
+    Ok(ExecResult {
+        outputs,
+        resources,
+        kernels: 3,
+    })
+}
+
+/// Per-CTA input ranges: `ranges[cta][input] = (start, end)`.
+fn compute_partitions(
+    partition: PartitionSpec,
+    inputs: &[&Relation],
+    grid: u32,
+) -> Result<Vec<Vec<(usize, usize)>>> {
+    let grid = grid as usize;
+    let mut ranges = vec![vec![(0usize, 0usize); inputs.len()]; grid];
+    match partition {
+        PartitionSpec::Even => {
+            for (i, r) in inputs.iter().enumerate() {
+                for (cta, row) in ranges.iter_mut().enumerate() {
+                    let s = cta * r.len() / grid;
+                    let e = (cta + 1) * r.len() / grid;
+                    row[i] = (s, e);
+                }
+            }
+        }
+        PartitionSpec::ReplicateRight => {
+            for (i, r) in inputs.iter().enumerate() {
+                for (cta, row) in ranges.iter_mut().enumerate() {
+                    row[i] = if i == 0 {
+                        (cta * r.len() / grid, (cta + 1) * r.len() / grid)
+                    } else {
+                        (0, r.len())
+                    };
+                }
+            }
+        }
+        PartitionSpec::KeyRange { pivot, key_len } => {
+            let pr = inputs[pivot];
+            // Boundary keys at even pivot positions, realigned to key-run
+            // starts so equal keys never straddle CTAs.
+            let mut starts = vec![vec![0usize; inputs.len()]; grid + 1];
+            for (cta, row) in starts.iter_mut().enumerate().take(grid).skip(1) {
+                let pos = cta * pr.len() / grid;
+                if pr.is_empty() {
+                    continue;
+                }
+                let probe: Vec<u64> = pr.tuple(pos.min(pr.len() - 1))[..key_len].to_vec();
+                for (i, r) in inputs.iter().enumerate() {
+                    row[i] = r.lower_bound(&probe);
+                }
+            }
+            for (i, r) in inputs.iter().enumerate() {
+                starts[grid][i] = r.len();
+            }
+            // Enforce monotonicity (duplicate pivot keys may repeat bounds).
+            for i in 0..inputs.len() {
+                let mut prev = starts[0][i];
+                for row in starts.iter_mut().skip(1) {
+                    if row[i] < prev {
+                        row[i] = prev;
+                    }
+                    prev = row[i];
+                }
+            }
+            for cta in 0..grid {
+                for i in 0..inputs.len() {
+                    ranges[cta][i] = (starts[cta][i], starts[cta + 1][i]);
+                }
+            }
+        }
+    }
+    Ok(ranges)
+}
+
+fn sub_relation(rel: &Relation, range: (usize, usize)) -> Result<Relation> {
+    let arity = rel.schema().arity();
+    let words = rel.words()[range.0 * arity..range.1 * arity].to_vec();
+    Ok(Relation::from_sorted_words(rel.schema().clone(), words)?)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_step(
+    op: &GpuOperator,
+    step: &Step,
+    cta: usize,
+    ranges: &[Vec<(usize, usize)>],
+    inputs: &[&Relation],
+    slots: &mut [Option<RtSlot>],
+    q: &mut KernelQuantities,
+    out_words: &mut [Vec<u64>],
+    opt: OptLevel,
+) -> Result<()> {
+    let space = |id: crate::SlotId| op.slot_space(id);
+    let get = |slots: &[Option<RtSlot>], id: crate::SlotId| -> Result<RtSlot> {
+        slots[id.0]
+            .clone()
+            .ok_or_else(|| IrError::validation(format!("slot {id} empty at runtime")))
+    };
+
+    // -O0 local-memory spills: unoptimized code round-trips each step's
+    // working values through local memory (global DRAM).
+    if opt == OptLevel::O0 {
+        let processed: u64 = step
+            .sources()
+            .iter()
+            .filter_map(|s| slots[s.0].as_ref())
+            .map(|s| s.rel.len() as u64)
+            .sum();
+        q.global_bytes_read += processed * O0_SPILL_BYTES;
+        q.global_bytes_written += processed * O0_SPILL_BYTES;
+    }
+
+    // Charge a read of `slot` from `sp`; lanes matter for O0 spills.
+    let charge_read = |q: &mut KernelQuantities, sp: Space, slot: &RtSlot| {
+        let dense = slot.rel.byte_size() as u64;
+        let sparse = slot.lanes * slot.rel.schema().tuple_bytes() as u64;
+        match sp {
+            Space::Register => {
+                if opt == OptLevel::O0 {
+                    q.global_bytes_read += sparse; // local-memory spill
+                }
+            }
+            Space::Shared => q.shared_bytes_read += dense,
+            Space::Global => q.global_bytes_read += dense,
+        }
+    };
+    let charge_write = |q: &mut KernelQuantities, sp: Space, rel: &Relation, lanes: u64| {
+        let dense = rel.byte_size() as u64;
+        let sparse = lanes * rel.schema().tuple_bytes() as u64;
+        match sp {
+            Space::Register => {
+                if opt == OptLevel::O0 {
+                    q.global_bytes_written += sparse.max(dense);
+                }
+            }
+            Space::Shared => q.shared_bytes_written += dense,
+            Space::Global => q.global_bytes_written += dense,
+        }
+    };
+
+    match step {
+        Step::Load { input, dst } => {
+            let rel = sub_relation(inputs[*input], ranges[cta][*input])?;
+            q.global_bytes_read += rel.byte_size() as u64;
+            let lanes = rel.len() as u64;
+            charge_write(q, space(*dst), &rel, lanes);
+            slots[dst.0] = Some(RtSlot { rel, lanes });
+        }
+        Step::Filter { src, pred, dst } => {
+            let s = get(slots, *src)?;
+            charge_read(q, space(*src), &s);
+            q.alu_ops += s.lanes * pred.alu_ops();
+            let rel = ops::select(&s.rel, pred)?;
+            // Register destinations keep sparse lanes (idle threads);
+            // CTA-visible destinations are written compacted by the filter.
+            let lanes = if space(*dst) == Space::Register {
+                s.lanes
+            } else {
+                rel.len() as u64
+            };
+            charge_write(q, space(*dst), &rel, lanes);
+            slots[dst.0] = Some(RtSlot { rel, lanes });
+        }
+        Step::Project {
+            src,
+            attrs,
+            key_arity,
+            dst,
+        } => {
+            let s = get(slots, *src)?;
+            charge_read(q, space(*src), &s);
+            q.alu_ops += s.lanes * attrs.len() as u64;
+            let rel = ops::project(&s.rel, attrs, *key_arity)?;
+            let lanes = if space(*dst) == Space::Register {
+                s.lanes
+            } else {
+                rel.len() as u64
+            };
+            charge_write(q, space(*dst), &rel, lanes);
+            slots[dst.0] = Some(RtSlot { rel, lanes });
+        }
+        Step::Compute {
+            src,
+            exprs,
+            key_arity,
+            dst,
+        } => {
+            let s = get(slots, *src)?;
+            charge_read(q, space(*src), &s);
+            let ops_per_tuple: u64 = exprs.iter().map(|e| e.alu_ops() + 1).sum();
+            q.alu_ops += s.lanes * ops_per_tuple;
+            let rel = ops::compute(&s.rel, exprs, *key_arity)?;
+            let lanes = if space(*dst) == Space::Register {
+                s.lanes
+            } else {
+                rel.len() as u64
+            };
+            charge_write(q, space(*dst), &rel, lanes);
+            slots[dst.0] = Some(RtSlot { rel, lanes });
+        }
+        Step::Join {
+            left,
+            right,
+            key_len,
+            dst,
+        } => {
+            let l = get(slots, *left)?;
+            let r = get(slots, *right)?;
+            charge_read(q, space(*left), &l);
+            charge_read(q, space(*right), &r);
+            let rel = ops::join(&l.rel, &r.rel, *key_len)?;
+            q.alu_ops += (l.rel.len() + r.rel.len()) as u64 * *key_len as u64
+                + 2 * rel.len() as u64;
+            let lanes = rel.len() as u64;
+            charge_write(q, space(*dst), &rel, lanes);
+            slots[dst.0] = Some(RtSlot { rel, lanes });
+        }
+        Step::Product { left, right, dst } => {
+            let l = get(slots, *left)?;
+            let r = get(slots, *right)?;
+            charge_read(q, space(*left), &l);
+            charge_read(q, space(*right), &r);
+            let rel = ops::product(&l.rel, &r.rel)?;
+            q.alu_ops += l.rel.len() as u64 + rel.len() as u64;
+            let lanes = rel.len() as u64;
+            charge_write(q, space(*dst), &rel, lanes);
+            slots[dst.0] = Some(RtSlot { rel, lanes });
+        }
+        Step::SemiJoin {
+            left,
+            right,
+            key_len,
+            negated,
+            dst,
+        } => {
+            let l = get(slots, *left)?;
+            let r = get(slots, *right)?;
+            charge_read(q, space(*left), &l);
+            charge_read(q, space(*right), &r);
+            let rel = if *negated {
+                ops::anti_join(&l.rel, &r.rel, *key_len)?
+            } else {
+                ops::semi_join(&l.rel, &r.rel, *key_len)?
+            };
+            // One binary search per left tuple over the right partition.
+            q.alu_ops += l.rel.len() as u64
+                * ((r.rel.len().max(2) as f64).log2().ceil() as u64)
+                * *key_len as u64;
+            let lanes = rel.len() as u64;
+            charge_write(q, space(*dst), &rel, lanes);
+            slots[dst.0] = Some(RtSlot { rel, lanes });
+        }
+        Step::SetOp {
+            kind,
+            left,
+            right,
+            dst,
+        } => {
+            let l = get(slots, *left)?;
+            let r = get(slots, *right)?;
+            charge_read(q, space(*left), &l);
+            charge_read(q, space(*right), &r);
+            let rel = match kind {
+                SetOpKind::Union => ops::union(&l.rel, &r.rel)?,
+                SetOpKind::Intersect => ops::intersect(&l.rel, &r.rel)?,
+                SetOpKind::Difference => ops::difference(&l.rel, &r.rel)?,
+            };
+            q.alu_ops += (l.rel.len() + r.rel.len()) as u64
+                * l.rel.schema().key_arity().max(1) as u64
+                + rel.len() as u64;
+            let lanes = rel.len() as u64;
+            charge_write(q, space(*dst), &rel, lanes);
+            slots[dst.0] = Some(RtSlot { rel, lanes });
+        }
+        Step::Unique { src, dst } => {
+            let s = get(slots, *src)?;
+            charge_read(q, space(*src), &s);
+            let rel = ops::unique(&s.rel)?;
+            q.alu_ops += s.rel.len() as u64 * s.rel.schema().arity() as u64;
+            let lanes = rel.len() as u64;
+            charge_write(q, space(*dst), &rel, lanes);
+            slots[dst.0] = Some(RtSlot { rel, lanes });
+        }
+        Step::Compact { src, dst } => {
+            let s = get(slots, *src)?;
+            charge_read(q, space(*src), &s);
+            q.alu_ops += 2 * s.lanes; // prefix-sum scan over allocated lanes
+            let lanes = s.rel.len() as u64;
+            charge_write(q, space(*dst), &s.rel, lanes);
+            slots[dst.0] = Some(RtSlot { rel: s.rel, lanes });
+        }
+        Step::Barrier => {
+            q.barriers += 1;
+        }
+        Step::Store { src, output } => {
+            let s = get(slots, *src)?;
+            charge_read(q, space(*src), &s);
+            q.global_bytes_written += s.rel.byte_size() as u64;
+            out_words[*output].extend_from_slice(s.rel.words());
+        }
+    }
+    Ok(())
+}
+
+// ---- Global (kernel-dependent) operators ---------------------------------
+
+fn execute_sort(
+    op: &GpuOperator,
+    attrs: &[usize],
+    input: &Relation,
+    device: &mut Device,
+) -> Result<ExecResult> {
+    let out = ops::sort_on(input, attrs)?;
+    let kernels = sort_cost(op, input, attrs.len().max(1) as u64, device)?;
+    Ok(ExecResult {
+        outputs: vec![out],
+        resources: KernelResources {
+            registers_per_thread: 24,
+            shared_per_cta: 4 * 1024,
+        },
+        kernels,
+    })
+}
+
+/// Charge a multi-pass radix sort over `input` and return kernels launched.
+fn sort_cost(
+    op: &GpuOperator,
+    input: &Relation,
+    key_attrs: u64,
+    device: &mut Device,
+) -> Result<u64> {
+    let n = input.len() as u64;
+    let bytes = input.byte_size() as u64;
+    let threads = op.threads_per_cta;
+    let grid = (n.div_ceil(u64::from(threads)) as u32).clamp(1, MAX_GRID_CTAS);
+    let passes = SORT_PASSES_PER_ATTR * key_attrs;
+    let res = KernelResources {
+        registers_per_thread: 24,
+        shared_per_cta: 4 * 1024,
+    };
+    for pass in 0..passes {
+        let q = KernelQuantities {
+            global_bytes_read: bytes,
+            global_bytes_written: bytes,
+            shared_bytes_read: n * 4,
+            shared_bytes_written: n * 4,
+            alu_ops: 4 * n,
+            barriers: 2,
+        };
+        device.launch(
+            format!("{}.sort.pass{pass}", op.label),
+            LaunchDims::new(grid, threads),
+            res,
+            &q,
+        )?;
+    }
+    Ok(passes)
+}
+
+fn execute_aggregate(
+    op: &GpuOperator,
+    group_by: &[usize],
+    aggs: &[kw_relational::ops::AggFn],
+    input: &Relation,
+    device: &mut Device,
+) -> Result<ExecResult> {
+    let out = ops::aggregate(input, group_by, aggs)?;
+    // Phase 1: sort by the group attributes (kernel-dependent phase).
+    let mut kernels = if group_by.is_empty() {
+        0
+    } else {
+        sort_cost(op, input, group_by.len() as u64, device)?
+    };
+    // Phase 2: segmented reduction.
+    let n = input.len() as u64;
+    let threads = op.threads_per_cta;
+    let grid = (n.div_ceil(u64::from(threads)) as u32).clamp(1, MAX_GRID_CTAS);
+    let alu_per_tuple: u64 = aggs.iter().map(|a| a.alu_ops()).sum::<u64>().max(1);
+    let q = KernelQuantities {
+        global_bytes_read: input.byte_size() as u64,
+        global_bytes_written: out.byte_size() as u64,
+        shared_bytes_read: n * 8,
+        shared_bytes_written: n * 8,
+        alu_ops: n * alu_per_tuple,
+        barriers: 2,
+    };
+    device.launch(
+        format!("{}.reduce", op.label),
+        LaunchDims::new(grid, threads),
+        KernelResources {
+            registers_per_thread: 28,
+            shared_per_cta: 8 * 1024,
+        },
+        &q,
+    )?;
+    kernels += 1;
+    Ok(ExecResult {
+        outputs: vec![out],
+        resources: KernelResources {
+            registers_per_thread: 28,
+            shared_per_cta: 8 * 1024,
+        },
+        kernels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PartitionSpec, SlotDecl, SlotId};
+    use kw_gpu_sim::DeviceConfig;
+    use kw_relational::ops::AggFn;
+    use kw_relational::{gen, CmpOp, Predicate, Schema, Value};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::fermi_c2050())
+    }
+
+    fn select_op(schema: Schema, pred: Predicate) -> GpuOperator {
+        GpuOperator::streaming(
+            "select",
+            vec![schema],
+            1,
+            vec![
+                SlotDecl::new("in", Space::Register),
+                SlotDecl::new("f", Space::Register),
+                SlotDecl::new("dense", Space::Shared),
+            ],
+            vec![
+                Step::Load {
+                    input: 0,
+                    dst: SlotId(0),
+                },
+                Step::Filter {
+                    src: SlotId(0),
+                    pred,
+                    dst: SlotId(1),
+                },
+                Step::Compact {
+                    src: SlotId(1),
+                    dst: SlotId(2),
+                },
+                Step::Barrier,
+                Step::Store {
+                    src: SlotId(2),
+                    output: 0,
+                },
+            ],
+            PartitionSpec::Even,
+        )
+    }
+
+    #[test]
+    fn select_matches_cpu_oracle() {
+        let input = gen::micro_input(10_000, 42);
+        let pred = Predicate::cmp(1, CmpOp::Lt, Value::U32(u32::MAX / 2));
+        let op = select_op(input.schema().clone(), pred.clone());
+        let mut dev = device();
+        let result = execute(&op, &[&input], &mut dev, OptLevel::O3).unwrap();
+        let oracle = ops::select(&input, &pred).unwrap();
+        assert_eq!(result.outputs[0], oracle);
+        assert_eq!(result.kernels, 3);
+        assert_eq!(dev.stats().kernel_launches, 3);
+        assert!(dev.stats().global_bytes_read >= input.byte_size() as u64);
+    }
+
+    #[test]
+    fn join_key_range_matches_cpu_oracle() {
+        let (l, r) = gen::join_inputs(5_000, 2, 0.5, 7);
+        let op = GpuOperator::streaming(
+            "join",
+            vec![l.schema().clone(), r.schema().clone()],
+            1,
+            vec![
+                SlotDecl::new("l", Space::Shared),
+                SlotDecl::new("r", Space::Shared),
+                SlotDecl::new("o", Space::Shared),
+            ],
+            vec![
+                Step::Load {
+                    input: 0,
+                    dst: SlotId(0),
+                },
+                Step::Load {
+                    input: 1,
+                    dst: SlotId(1),
+                },
+                Step::Barrier,
+                Step::Join {
+                    left: SlotId(0),
+                    right: SlotId(1),
+                    key_len: 1,
+                    dst: SlotId(2),
+                },
+                Step::Barrier,
+                Step::Store {
+                    src: SlotId(2),
+                    output: 0,
+                },
+            ],
+            PartitionSpec::KeyRange {
+                pivot: 0,
+                key_len: 1,
+            },
+        );
+        let mut dev = device();
+        let result = execute(&op, &[&l, &r], &mut dev, OptLevel::O3).unwrap();
+        let oracle = ops::join(&l, &r, 1).unwrap();
+        assert_eq!(result.outputs[0], oracle);
+        assert!(dev.stats().shared_bytes_written > 0);
+        assert!(dev.stats().barriers > 0);
+    }
+
+    #[test]
+    fn join_with_heavy_duplicates_stays_correct() {
+        // Heavy key duplication stresses run-aligned partitioning.
+        let schema = Schema::uniform_u32(2);
+        let mut r = gen::rng(3);
+        use rand::Rng;
+        let words: Vec<u64> = (0..4000)
+            .flat_map(|_| vec![u64::from(r.gen_range(0..20u32)), u64::from(r.gen::<u32>())])
+            .collect();
+        let left = Relation::from_words(schema.clone(), words.clone()).unwrap();
+        let right = Relation::from_words(schema.clone(), words[..2000].to_vec()).unwrap();
+        let op = GpuOperator::streaming(
+            "join",
+            vec![schema.clone(), schema],
+            1,
+            vec![
+                SlotDecl::new("l", Space::Shared),
+                SlotDecl::new("r", Space::Shared),
+                SlotDecl::new("o", Space::Shared),
+            ],
+            vec![
+                Step::Load {
+                    input: 0,
+                    dst: SlotId(0),
+                },
+                Step::Load {
+                    input: 1,
+                    dst: SlotId(1),
+                },
+                Step::Barrier,
+                Step::Join {
+                    left: SlotId(0),
+                    right: SlotId(1),
+                    key_len: 1,
+                    dst: SlotId(2),
+                },
+                Step::Barrier,
+                Step::Store {
+                    src: SlotId(2),
+                    output: 0,
+                },
+            ],
+            PartitionSpec::KeyRange {
+                pivot: 0,
+                key_len: 1,
+            },
+        );
+        let mut dev = device();
+        let result = execute(&op, &[&left, &right], &mut dev, OptLevel::O3).unwrap();
+        let oracle = ops::join(&left, &right, 1).unwrap();
+        assert_eq!(result.outputs[0], oracle);
+    }
+
+    #[test]
+    fn o0_spills_registers_to_global() {
+        let input = gen::micro_input(10_000, 11);
+        let pred = Predicate::cmp(1, CmpOp::Lt, Value::U32(u32::MAX / 2));
+        let op = select_op(input.schema().clone(), pred);
+
+        let mut d3 = device();
+        execute(&op, &[&input], &mut d3, OptLevel::O3).unwrap();
+        let mut d0 = device();
+        execute(&op, &[&input], &mut d0, OptLevel::O0).unwrap();
+
+        assert!(d0.stats().global_bytes() > d3.stats().global_bytes());
+        assert!(d0.stats().gpu_cycles > d3.stats().gpu_cycles);
+        // Results identical regardless of optimization level.
+    }
+
+    #[test]
+    fn sort_matches_oracle_and_launches_passes() {
+        let input = gen::micro_input(5_000, 9);
+        let op = GpuOperator::global_sort("sort", input.schema().clone(), vec![2]);
+        let mut dev = device();
+        let result = execute(&op, &[&input], &mut dev, OptLevel::O3).unwrap();
+        assert_eq!(result.outputs[0], ops::sort_on(&input, &[2]).unwrap());
+        assert_eq!(dev.stats().kernel_launches, SORT_PASSES_PER_ATTR);
+    }
+
+    #[test]
+    fn aggregate_matches_oracle() {
+        let schema = Schema::uniform_u32(2);
+        let mut r = gen::rng(5);
+        use rand::Rng;
+        let words: Vec<u64> = (0..3000)
+            .flat_map(|_| vec![u64::from(r.gen_range(0..10u32)), u64::from(r.gen_range(0..100u32))])
+            .collect();
+        let input = Relation::from_words(schema.clone(), words).unwrap();
+        let op = GpuOperator::global_aggregate(
+            "agg",
+            schema,
+            vec![0],
+            vec![AggFn::Sum(1), AggFn::Count],
+        );
+        let mut dev = device();
+        let result = execute(&op, &[&input], &mut dev, OptLevel::O3).unwrap();
+        let oracle = ops::aggregate(&input, &[0], &[AggFn::Sum(1), AggFn::Count]).unwrap();
+        assert_eq!(result.outputs[0], oracle);
+        assert!(dev.stats().kernel_launches > SORT_PASSES_PER_ATTR);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let input = gen::micro_input(100, 1);
+        let op = select_op(Schema::uniform_u32(2), Predicate::True);
+        let mut dev = device();
+        assert!(execute(&op, &[&input], &mut dev, OptLevel::O3).is_err());
+    }
+
+    #[test]
+    fn empty_input_works() {
+        let schema = Schema::uniform_u32(4);
+        let empty = Relation::empty(schema.clone());
+        let op = select_op(schema, Predicate::True);
+        let mut dev = device();
+        let result = execute(&op, &[&empty], &mut dev, OptLevel::O3).unwrap();
+        assert!(result.outputs[0].is_empty());
+    }
+
+    #[test]
+    fn replicate_right_product() {
+        let l = gen::micro_input(500, 2);
+        let r = gen::micro_input(40, 3);
+        let op = GpuOperator::streaming(
+            "product",
+            vec![l.schema().clone(), r.schema().clone()],
+            1,
+            vec![
+                SlotDecl::new("l", Space::Shared),
+                SlotDecl::new("r", Space::Shared),
+                SlotDecl::new("o", Space::Shared),
+            ],
+            vec![
+                Step::Load {
+                    input: 0,
+                    dst: SlotId(0),
+                },
+                Step::Load {
+                    input: 1,
+                    dst: SlotId(1),
+                },
+                Step::Barrier,
+                Step::Product {
+                    left: SlotId(0),
+                    right: SlotId(1),
+                    dst: SlotId(2),
+                },
+                Step::Barrier,
+                Step::Store {
+                    src: SlotId(2),
+                    output: 0,
+                },
+            ],
+            PartitionSpec::ReplicateRight,
+        );
+        let mut dev = device();
+        let result = execute(&op, &[&l, &r], &mut dev, OptLevel::O3).unwrap();
+        assert_eq!(result.outputs[0], ops::product(&l, &r).unwrap());
+    }
+}

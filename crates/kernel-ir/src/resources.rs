@@ -1,0 +1,287 @@
+//! Register and shared-memory usage estimation.
+//!
+//! Mirrors the paper's Section 4.3.3: intermediate data of thread-dependent
+//! fusion occupies registers (width = tuple word count), CTA-dependent
+//! fusion occupies shared memory (a tile of `threads_per_CTA` tuples plus a
+//! size counter), and stage-internal temporaries can reuse registers — so a
+//! fused operator's register demand is the *maximum* live set plus the
+//! largest per-stage working set, not the sum.
+//!
+//! At `-O0` the compiler performs no liveness-based reuse (every slot holds
+//! its registers for the whole kernel), which is how fusion's larger bodies
+//! lose occupancy without optimization (Figure 19's counterpoint).
+
+use kw_gpu_sim::KernelResources;
+use kw_relational::{AttrType, Schema};
+
+use crate::{GpuOperator, InferredSchemas, IrError, OperatorBody, OptLevel, Result, Space, Step};
+
+/// Base per-thread registers any kernel consumes (indices, bounds, loop
+/// counters).
+pub const BASE_REGISTERS: u32 = 10;
+/// Bookkeeping bytes per shared slot (size counter + alignment).
+pub const SHARED_SLOT_OVERHEAD: u32 = 64;
+
+/// Registers needed to hold one tuple of `schema` in a thread.
+pub fn tuple_registers(schema: &Schema) -> u32 {
+    schema
+        .attrs()
+        .iter()
+        .map(|a| match a {
+            AttrType::U64 => 2,
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Transient (stage-internal) registers of one step.
+fn step_scratch(step: &Step) -> u32 {
+    match step {
+        Step::Load { .. } => 2,
+        Step::Filter { pred, .. } => 2 + (pred.alu_ops() as u32).min(8),
+        Step::Project { .. } => 2,
+        Step::Compute { exprs, .. } => {
+            2 + exprs
+                .iter()
+                .map(|e| (e.alu_ops() as u32).min(8))
+                .max()
+                .unwrap_or(0)
+        }
+        Step::Join { .. } => 24,
+        Step::Product { .. } => 12,
+        Step::SemiJoin { .. } => 14,
+        Step::SetOp { .. } => 12,
+        Step::Unique { .. } => 6,
+        Step::Compact { .. } => 4,
+        Step::Barrier => 0,
+        Step::Store { .. } => 2,
+    }
+}
+
+/// Estimate the kernel resources of `op`.
+///
+/// # Errors
+///
+/// Returns [`IrError::Validation`] if a referenced slot has no schema.
+pub fn estimate_resources(
+    op: &GpuOperator,
+    inferred: &InferredSchemas,
+    opt: OptLevel,
+) -> Result<KernelResources> {
+    let OperatorBody::Streaming { slots, steps, .. } = &op.body else {
+        // Global operators (SORT / AGGREGATE phases) run library kernels with
+        // fixed, modest resource demands.
+        return Ok(KernelResources {
+            registers_per_thread: 24,
+            shared_per_cta: 4 * 1024,
+        });
+    };
+
+    // Which slots are actually referenced.
+    let mut used = vec![false; slots.len()];
+    for step in steps {
+        for s in step.sources() {
+            used[s.0] = true;
+        }
+        if let Some(d) = step.dest() {
+            used[d.0] = true;
+        }
+    }
+
+    // Shared memory: a tile of threads_per_cta tuples per used shared slot.
+    // At -O3 the allocator reuses tiles whose slots are dead (the paper's
+    // §4.3.3: "variables ... are live until they are no longer needed"), so
+    // the demand is the maximum *live* set; at -O0 every slot holds its
+    // tile for the whole kernel.
+    let tile_bytes = |i: usize| -> Result<u64> {
+        let schema = inferred
+            .slots
+            .get(i)
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| IrError::validation(format!("shared slot %{i} has no schema")))?;
+        Ok(u64::from(op.threads_per_cta) * schema.tuple_bytes() as u64
+            + u64::from(SHARED_SLOT_OVERHEAD))
+    };
+    let shared_slots: Vec<usize> = (0..slots.len())
+        .filter(|&i| used[i] && slots[i].space == Space::Shared)
+        .collect();
+    let shared: u64 = match opt {
+        OptLevel::O0 => {
+            let mut sum = 0;
+            for &i in &shared_slots {
+                sum += tile_bytes(i)?;
+            }
+            sum
+        }
+        OptLevel::O3 => {
+            let mut def = vec![usize::MAX; slots.len()];
+            let mut last_use = vec![0usize; slots.len()];
+            for (idx, step) in steps.iter().enumerate() {
+                if let Some(d) = step.dest() {
+                    def[d.0] = def[d.0].min(idx);
+                }
+                for s in step.sources() {
+                    last_use[s.0] = last_use[s.0].max(idx);
+                }
+            }
+            let mut max_live = 0u64;
+            for idx in 0..steps.len() {
+                let mut live = 0u64;
+                for &i in &shared_slots {
+                    if def[i] <= idx && last_use[i] >= idx {
+                        live += tile_bytes(i)?;
+                    }
+                }
+                max_live = max_live.max(live);
+            }
+            max_live
+        }
+    };
+
+    // Registers.
+    let width = |i: usize| -> Result<u32> {
+        inferred
+            .slots
+            .get(i)
+            .and_then(|s| s.as_ref())
+            .map(tuple_registers)
+            .ok_or_else(|| IrError::validation(format!("register slot %{i} has no schema")))
+    };
+
+    let reg_slots: Vec<usize> = (0..slots.len())
+        .filter(|&i| used[i] && slots[i].space == Space::Register)
+        .collect();
+
+    let slot_regs = match opt {
+        OptLevel::O0 => {
+            // No reuse: every register slot is live for the whole kernel.
+            let mut sum = 0;
+            for &i in &reg_slots {
+                sum += width(i)?;
+            }
+            sum
+        }
+        OptLevel::O3 => {
+            // Liveness-based reuse: maximum concurrently-live register width.
+            let mut def = vec![usize::MAX; slots.len()];
+            let mut last_use = vec![0usize; slots.len()];
+            for (idx, step) in steps.iter().enumerate() {
+                if let Some(d) = step.dest() {
+                    def[d.0] = def[d.0].min(idx);
+                }
+                for s in step.sources() {
+                    last_use[s.0] = last_use[s.0].max(idx);
+                }
+            }
+            let mut max_live = 0u32;
+            for idx in 0..steps.len() {
+                let mut live = 0u32;
+                for &i in &reg_slots {
+                    if def[i] <= idx && last_use[i] >= idx {
+                        live += width(i)?;
+                    }
+                }
+                max_live = max_live.max(live);
+            }
+            max_live
+        }
+    };
+
+    let scratch = steps.iter().map(step_scratch).max().unwrap_or(0);
+    let registers = BASE_REGISTERS + slot_regs + scratch;
+
+    Ok(KernelResources {
+        registers_per_thread: registers,
+        shared_per_cta: shared.min(u64::from(u32::MAX)) as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{infer_schemas, PartitionSpec, SlotDecl, SlotId};
+    use kw_relational::{CmpOp, Predicate, Value};
+
+    fn select_op() -> GpuOperator {
+        GpuOperator::streaming(
+            "select",
+            vec![Schema::uniform_u32(4)],
+            1,
+            vec![
+                SlotDecl::new("in", Space::Register),
+                SlotDecl::new("f", Space::Register),
+                SlotDecl::new("dense", Space::Shared),
+            ],
+            vec![
+                Step::Load {
+                    input: 0,
+                    dst: SlotId(0),
+                },
+                Step::Filter {
+                    src: SlotId(0),
+                    pred: Predicate::cmp(0, CmpOp::Lt, Value::U32(7)),
+                    dst: SlotId(1),
+                },
+                Step::Compact {
+                    src: SlotId(1),
+                    dst: SlotId(2),
+                },
+                Step::Barrier,
+                Step::Store {
+                    src: SlotId(2),
+                    output: 0,
+                },
+            ],
+            PartitionSpec::Even,
+        )
+    }
+
+    #[test]
+    fn select_resources() {
+        let op = select_op();
+        let inf = infer_schemas(&op).unwrap();
+        let r = estimate_resources(&op, &inf, OptLevel::O3).unwrap();
+        // 10 base + 8 live regs (two 4-word tuples overlap at the filter) + 4 scratch.
+        assert!(r.registers_per_thread >= 15 && r.registers_per_thread <= 30);
+        // One shared tile: 256 threads * 16 B + overhead.
+        assert_eq!(r.shared_per_cta, 256 * 16 + SHARED_SLOT_OVERHEAD);
+    }
+
+    #[test]
+    fn o0_uses_more_registers() {
+        let op = select_op();
+        let inf = infer_schemas(&op).unwrap();
+        let o3 = estimate_resources(&op, &inf, OptLevel::O3).unwrap();
+        let o0 = estimate_resources(&op, &inf, OptLevel::O0).unwrap();
+        assert!(o0.registers_per_thread >= o3.registers_per_thread);
+    }
+
+    #[test]
+    fn tuple_register_widths() {
+        assert_eq!(tuple_registers(&Schema::uniform_u32(4)), 4);
+        let s = Schema::new(vec![AttrType::U64, AttrType::U32], 1);
+        assert_eq!(tuple_registers(&s), 3);
+    }
+
+    #[test]
+    fn global_ops_have_fixed_resources() {
+        let op = GpuOperator::global_sort("s", Schema::uniform_u32(2), vec![0]);
+        let inf = infer_schemas(&op).unwrap();
+        let r = estimate_resources(&op, &inf, OptLevel::O3).unwrap();
+        assert!(r.registers_per_thread > 0);
+    }
+
+    #[test]
+    fn unused_slots_cost_nothing() {
+        let mut op = select_op();
+        if let OperatorBody::Streaming { slots, .. } = &mut op.body {
+            slots.push(SlotDecl::new("unused", Space::Shared));
+        }
+        let inf = infer_schemas(&op).unwrap();
+        let with_unused = estimate_resources(&op, &inf, OptLevel::O3).unwrap();
+        let plain = select_op();
+        let inf2 = infer_schemas(&plain).unwrap();
+        let base = estimate_resources(&plain, &inf2, OptLevel::O3).unwrap();
+        assert_eq!(with_unused, base);
+    }
+}

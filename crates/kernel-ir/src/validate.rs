@@ -1,0 +1,262 @@
+//! Structural validation of kernel IR.
+//!
+//! Beyond schema inference, the validator enforces the GPU execution rules
+//! the paper's code generator must respect:
+//!
+//! * CTA-wide steps (JOIN, PRODUCT, SET ops, UNIQUE, COMPACT) cannot read
+//!   per-thread registers — their inputs must be CTA-visible (shared or
+//!   global), and their results are CTA-visible too;
+//! * a step reading a shared slot must be separated from that slot's
+//!   producer by a CTA barrier (Figure 13(b): "a CTA barrier synchronization
+//!   is needed after the producer operation");
+//! * every declared output is stored exactly once;
+//! * the partition spec is consistent with the inputs.
+
+use crate::{infer_schemas, GpuOperator, InferredSchemas, IrError, OperatorBody, PartitionSpec, Result, Space, Step};
+
+/// Validate `op`, returning its inferred schemas on success.
+///
+/// # Errors
+///
+/// Returns [`IrError::Validation`] or [`IrError::Relational`] describing the
+/// first violation found.
+pub fn validate(op: &GpuOperator) -> Result<InferredSchemas> {
+    let inferred = infer_schemas(op)?;
+
+    let OperatorBody::Streaming {
+        slots,
+        steps,
+        partition,
+    } = &op.body
+    else {
+        return Ok(inferred); // global bodies have no step-level structure
+    };
+
+    // Outputs all stored.
+    for (i, o) in inferred.outputs.iter().enumerate() {
+        if o.is_none() {
+            return Err(IrError::validation(format!("output {i} is never stored")));
+        }
+    }
+
+    // Space rules + barrier discipline.
+    let space = |id: crate::SlotId| slots[id.0].space;
+    let mut def_index: Vec<Option<usize>> = vec![None; slots.len()];
+    let mut barriers_at: Vec<usize> = Vec::new();
+    for (i, step) in steps.iter().enumerate() {
+        if matches!(step, Step::Barrier) {
+            barriers_at.push(i);
+        }
+        // CTA-wide steps cannot source registers.
+        let cta_wide = matches!(
+            step,
+            Step::Join { .. }
+                | Step::Product { .. }
+                | Step::SemiJoin { .. }
+                | Step::SetOp { .. }
+                | Step::Unique { .. }
+        );
+        for src in step.sources() {
+            if cta_wide && space(src) == Space::Register {
+                return Err(IrError::validation(format!(
+                    "step {i} ({}) reads register slot {src}; CTA-wide operations require \
+                     shared or global inputs",
+                    step.mnemonic()
+                )));
+            }
+            // Shared reads need an intervening barrier after the def.
+            if space(src) == Space::Shared {
+                let def = def_index[src.0]
+                    .ok_or_else(|| IrError::validation(format!("slot {src} read before def")))?;
+                let sync = barriers_at.iter().any(|&b| b > def && b < i);
+                if !sync {
+                    return Err(IrError::validation(format!(
+                        "step {i} ({}) reads shared slot {src} without a barrier after its \
+                         definition at step {def}",
+                        step.mnemonic()
+                    )));
+                }
+            }
+        }
+        if let Some(dst) = step.dest() {
+            def_index[dst.0] = Some(i);
+            if cta_wide && space(dst) == Space::Register {
+                return Err(IrError::validation(format!(
+                    "step {i} ({}) writes CTA-wide result to register slot {dst}",
+                    step.mnemonic()
+                )));
+            }
+            if matches!(step, Step::Compact { .. }) && space(dst) == Space::Register {
+                return Err(IrError::validation(format!(
+                    "step {i} (compact) must write to a CTA-visible slot, not register {dst}"
+                )));
+            }
+        }
+    }
+
+    // Partition spec consistency.
+    match partition {
+        PartitionSpec::Even => {}
+        PartitionSpec::KeyRange { pivot, key_len } => {
+            if *pivot >= op.inputs.len() {
+                return Err(IrError::validation(format!(
+                    "key-range pivot {pivot} out of range for {} inputs",
+                    op.inputs.len()
+                )));
+            }
+            if *key_len == 0 {
+                return Err(IrError::validation("key-range partition with empty key"));
+            }
+            for (i, s) in op.inputs.iter().enumerate() {
+                if s.key_arity() < *key_len {
+                    return Err(IrError::validation(format!(
+                        "input {i} key arity {} shorter than partition key {key_len}",
+                        s.key_arity()
+                    )));
+                }
+                for k in 0..*key_len {
+                    if s.attr(k) != op.inputs[*pivot].attr(k) {
+                        return Err(IrError::validation(format!(
+                            "input {i} partition-key attribute {k} type mismatch"
+                        )));
+                    }
+                }
+            }
+        }
+        PartitionSpec::ReplicateRight => {
+            if op.inputs.is_empty() {
+                return Err(IrError::validation("replicate-right with no inputs"));
+            }
+        }
+    }
+
+    Ok(inferred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SlotDecl, SlotId};
+    use kw_relational::{CmpOp, Predicate, Schema, Value};
+
+    fn join_op(with_barrier: bool) -> GpuOperator {
+        let s = Schema::uniform_u32(2);
+        let mut steps = vec![
+            Step::Load {
+                input: 0,
+                dst: SlotId(0),
+            },
+            Step::Load {
+                input: 1,
+                dst: SlotId(1),
+            },
+        ];
+        if with_barrier {
+            steps.push(Step::Barrier);
+        }
+        steps.push(Step::Join {
+            left: SlotId(0),
+            right: SlotId(1),
+            key_len: 1,
+            dst: SlotId(2),
+        });
+        steps.push(Step::Barrier);
+        steps.push(Step::Store {
+            src: SlotId(2),
+            output: 0,
+        });
+        GpuOperator::streaming(
+            "join",
+            vec![s.clone(), s],
+            1,
+            vec![
+                SlotDecl::new("l", Space::Shared),
+                SlotDecl::new("r", Space::Shared),
+                SlotDecl::new("o", Space::Shared),
+            ],
+            steps,
+            PartitionSpec::KeyRange {
+                pivot: 0,
+                key_len: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn valid_join_passes() {
+        assert!(validate(&join_op(true)).is_ok());
+    }
+
+    #[test]
+    fn missing_barrier_rejected() {
+        let err = validate(&join_op(false)).unwrap_err();
+        assert!(err.to_string().contains("barrier"));
+    }
+
+    #[test]
+    fn join_from_registers_rejected() {
+        let mut op = join_op(true);
+        if let OperatorBody::Streaming { slots, .. } = &mut op.body {
+            slots[0].space = Space::Register;
+        }
+        let err = validate(&op).unwrap_err();
+        assert!(err.to_string().contains("CTA-wide"));
+    }
+
+    #[test]
+    fn unstored_output_rejected() {
+        let mut op = join_op(true);
+        op.outputs = 2;
+        let err = validate(&op).unwrap_err();
+        assert!(err.to_string().contains("never stored"));
+    }
+
+    #[test]
+    fn bad_partition_key_rejected() {
+        let mut op = join_op(true);
+        if let OperatorBody::Streaming { partition, .. } = &mut op.body {
+            *partition = PartitionSpec::KeyRange {
+                pivot: 5,
+                key_len: 1,
+            };
+        }
+        assert!(validate(&op).is_err());
+    }
+
+    #[test]
+    fn register_pipeline_needs_no_barrier() {
+        let s = Schema::uniform_u32(2);
+        let op = GpuOperator::streaming(
+            "sel",
+            vec![s],
+            1,
+            vec![
+                SlotDecl::new("in", Space::Register),
+                SlotDecl::new("f", Space::Register),
+                SlotDecl::new("d", Space::Shared),
+            ],
+            vec![
+                Step::Load {
+                    input: 0,
+                    dst: SlotId(0),
+                },
+                Step::Filter {
+                    src: SlotId(0),
+                    pred: Predicate::cmp(0, CmpOp::Lt, Value::U32(1)),
+                    dst: SlotId(1),
+                },
+                Step::Compact {
+                    src: SlotId(1),
+                    dst: SlotId(2),
+                },
+                Step::Barrier,
+                Step::Store {
+                    src: SlotId(2),
+                    output: 0,
+                },
+            ],
+            PartitionSpec::Even,
+        );
+        assert!(validate(&op).is_ok());
+    }
+}

@@ -1,0 +1,124 @@
+//! Producer–consumer dependence classification (the paper's Section 4.1,
+//! Figure 8).
+//!
+//! The class of a producer→consumer edge decides where the intermediate
+//! lives when the two operators are fused:
+//!
+//! * **Thread** — each consumer thread only needs its own producer thread's
+//!   tuple: intermediates pass through registers, no synchronization.
+//! * **Cta** — each consumer CTA needs the whole producer CTA's result:
+//!   intermediates pass through shared memory behind a barrier.
+//! * **Kernel** — the consumer needs *all* producer threads to finish
+//!   (SORT, grouped AGGREGATE): fusion is infeasible, the intermediate
+//!   makes a global-memory round trip.
+
+use crate::RaOp;
+
+/// The three dependence categories of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DependenceClass {
+    /// Thread-to-thread dependence: fuse through registers.
+    Thread,
+    /// CTA-level dependence: fuse through shared memory with barriers.
+    Cta,
+    /// Kernel-level dependence: a global barrier; not fusible.
+    Kernel,
+}
+
+/// The dependence class an operator imposes on data flowing *into* it —
+/// i.e. how much of its producer's output one consumer thread/CTA needs.
+pub fn consumer_class(op: &RaOp) -> DependenceClass {
+    match op {
+        RaOp::Select { .. } | RaOp::Project { .. } | RaOp::Map { .. } => DependenceClass::Thread,
+        RaOp::Join { .. }
+        | RaOp::Product
+        | RaOp::SemiJoin { .. }
+        | RaOp::AntiJoin { .. }
+        | RaOp::Union
+        | RaOp::Intersect
+        | RaOp::Difference
+        | RaOp::Unique => DependenceClass::Cta,
+        RaOp::Sort { .. } | RaOp::Aggregate { .. } => DependenceClass::Kernel,
+    }
+}
+
+/// The dependence class an operator imposes on data flowing *out* of it —
+/// whether its output is available per-thread, per-CTA, or only after the
+/// whole kernel completes.
+pub fn producer_class(op: &RaOp) -> DependenceClass {
+    match op {
+        RaOp::Select { .. } | RaOp::Project { .. } | RaOp::Map { .. } => DependenceClass::Thread,
+        RaOp::Join { .. }
+        | RaOp::Product
+        | RaOp::SemiJoin { .. }
+        | RaOp::AntiJoin { .. }
+        | RaOp::Union
+        | RaOp::Intersect
+        | RaOp::Difference
+        | RaOp::Unique => DependenceClass::Cta,
+        // SORT shuffles all data: consumers must wait for the whole kernel.
+        RaOp::Sort { .. } | RaOp::Aggregate { .. } => DependenceClass::Kernel,
+    }
+}
+
+/// The dependence class of the edge `producer → consumer`: the stricter of
+/// the producer's output class and the consumer's input class.
+pub fn edge_class(producer: &RaOp, consumer: &RaOp) -> DependenceClass {
+    producer_class(producer).max(consumer_class(consumer))
+}
+
+/// Whether an operator can take part in fusion at all (Algorithm 1 removes
+/// kernel-dependent operators from the graph before finding candidates).
+pub fn is_fusible(op: &RaOp) -> bool {
+    producer_class(op) != DependenceClass::Kernel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_relational::Predicate;
+
+    #[test]
+    fn unary_elementwise_is_thread() {
+        let sel = RaOp::Select {
+            pred: Predicate::True,
+        };
+        assert_eq!(consumer_class(&sel), DependenceClass::Thread);
+        assert_eq!(producer_class(&sel), DependenceClass::Thread);
+    }
+
+    #[test]
+    fn binary_is_cta() {
+        assert_eq!(consumer_class(&RaOp::Join { key_len: 1 }), DependenceClass::Cta);
+        assert_eq!(consumer_class(&RaOp::Intersect), DependenceClass::Cta);
+    }
+
+    #[test]
+    fn sort_is_kernel_and_not_fusible() {
+        let sort = RaOp::Sort { attrs: vec![0] };
+        assert_eq!(producer_class(&sort), DependenceClass::Kernel);
+        assert!(!is_fusible(&sort));
+        assert!(is_fusible(&RaOp::Join { key_len: 1 }));
+    }
+
+    #[test]
+    fn edge_takes_stricter_class() {
+        let sel = RaOp::Select {
+            pred: Predicate::True,
+        };
+        let join = RaOp::Join { key_len: 1 };
+        // select -> select: thread; select -> join: CTA; join -> select: CTA.
+        assert_eq!(edge_class(&sel, &sel), DependenceClass::Thread);
+        assert_eq!(edge_class(&sel, &join), DependenceClass::Cta);
+        assert_eq!(edge_class(&join, &sel), DependenceClass::Cta);
+        let sort = RaOp::Sort { attrs: vec![0] };
+        assert_eq!(edge_class(&sort, &sel), DependenceClass::Kernel);
+        assert_eq!(edge_class(&sel, &sort), DependenceClass::Kernel);
+    }
+
+    #[test]
+    fn class_ordering() {
+        assert!(DependenceClass::Thread < DependenceClass::Cta);
+        assert!(DependenceClass::Cta < DependenceClass::Kernel);
+    }
+}

@@ -1,0 +1,349 @@
+//! Plan-level relational algebra operators (the paper's Table 1 plus the
+//! Section 4.4 arithmetic extension).
+
+use std::fmt;
+
+use kw_relational::ops::AggFn;
+use kw_relational::{Expr, Predicate, Result, Schema};
+
+/// A relational algebra operator as it appears in a query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaOp {
+    /// Filter by a predicate.
+    Select {
+        /// The selection predicate.
+        pred: Predicate,
+    },
+    /// Keep a subset of attributes.
+    Project {
+        /// Attribute indices to keep, in order.
+        attrs: Vec<usize>,
+        /// Key arity of the result.
+        key_arity: usize,
+    },
+    /// Per-tuple arithmetic (the paper's §4.4 extension).
+    Map {
+        /// One expression per output attribute.
+        exprs: Vec<Expr>,
+        /// Key arity of the result.
+        key_arity: usize,
+    },
+    /// Join on the first `key_len` attributes.
+    Join {
+        /// Join key length.
+        key_len: usize,
+    },
+    /// Cross product.
+    Product,
+    /// Semi-join (`EXISTS`): left tuples whose first `key_len` attributes
+    /// match some right tuple.
+    SemiJoin {
+        /// Key prefix length.
+        key_len: usize,
+    },
+    /// Anti-join (`NOT EXISTS`): left tuples whose first `key_len`
+    /// attributes match no right tuple.
+    AntiJoin {
+        /// Key prefix length.
+        key_len: usize,
+    },
+    /// Keyed set union.
+    Union,
+    /// Keyed set intersection.
+    Intersect,
+    /// Keyed set difference.
+    Difference,
+    /// Duplicate elimination.
+    Unique,
+    /// Global sort on the given attributes (kernel-dependent).
+    Sort {
+        /// Attributes that become the new leading key.
+        attrs: Vec<usize>,
+    },
+    /// Grouped aggregation (kernel-dependent).
+    Aggregate {
+        /// Grouping attributes.
+        group_by: Vec<usize>,
+        /// Aggregates per group.
+        aggs: Vec<AggFn>,
+    },
+}
+
+impl RaOp {
+    /// Number of input relations the operator consumes.
+    pub fn arity(&self) -> usize {
+        match self {
+            RaOp::Select { .. }
+            | RaOp::Project { .. }
+            | RaOp::Map { .. }
+            | RaOp::Unique
+            | RaOp::Sort { .. }
+            | RaOp::Aggregate { .. } => 1,
+            RaOp::Join { .. }
+            | RaOp::Product
+            | RaOp::SemiJoin { .. }
+            | RaOp::AntiJoin { .. }
+            | RaOp::Union
+            | RaOp::Intersect
+            | RaOp::Difference => 2,
+        }
+    }
+
+    /// Short mnemonic used in labels.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            RaOp::Select { .. } => "select",
+            RaOp::Project { .. } => "project",
+            RaOp::Map { .. } => "map",
+            RaOp::Join { .. } => "join",
+            RaOp::Product => "product",
+            RaOp::SemiJoin { .. } => "semijoin",
+            RaOp::AntiJoin { .. } => "antijoin",
+            RaOp::Union => "union",
+            RaOp::Intersect => "intersect",
+            RaOp::Difference => "difference",
+            RaOp::Unique => "unique",
+            RaOp::Sort { .. } => "sort",
+            RaOp::Aggregate { .. } => "aggregate",
+        }
+    }
+
+    /// The output schema given the input schemas.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`kw_relational::RelationalError`] when the operator is
+    /// applied to incompatible schemas.
+    pub fn output_schema(&self, inputs: &[&Schema]) -> Result<Schema> {
+        use kw_relational::RelationalError;
+        let need = self.arity();
+        if inputs.len() != need {
+            return Err(RelationalError::SchemaMismatch {
+                detail: format!(
+                    "{} takes {need} inputs, got {}",
+                    self.mnemonic(),
+                    inputs.len()
+                ),
+            });
+        }
+        match self {
+            RaOp::Select { pred } => {
+                pred.validate(inputs[0])?;
+                Ok(inputs[0].clone())
+            }
+            RaOp::Project { attrs, key_arity } => {
+                // A streaming PROJECT cannot re-key a relation: keeping the
+                // output key-sorted requires the claimed key to be a prefix
+                // of the input key (a global reorder needs a SORT node).
+                for i in 0..*key_arity {
+                    if attrs.get(i) != Some(&i) {
+                        return Err(RelationalError::SchemaMismatch {
+                            detail: format!(
+                                "PROJECT key attribute {i} is not input attribute {i}; \
+                                 re-keying requires an explicit SORT"
+                            ),
+                        });
+                    }
+                }
+                inputs[0].project(attrs, *key_arity)
+            }
+            RaOp::Map { exprs, key_arity } => {
+                if exprs.is_empty() || *key_arity > exprs.len() {
+                    return Err(RelationalError::BadKeyArity {
+                        key_arity: *key_arity,
+                        arity: exprs.len(),
+                    });
+                }
+                // Same rule as PROJECT: key outputs must pass the input key
+                // through unchanged.
+                for (i, e) in exprs.iter().take(*key_arity).enumerate() {
+                    if *e != Expr::Attr(i) {
+                        return Err(RelationalError::SchemaMismatch {
+                            detail: format!(
+                                "MAP key output {i} is not input attribute {i}; \
+                                 re-keying requires an explicit SORT"
+                            ),
+                        });
+                    }
+                }
+                let attrs = exprs
+                    .iter()
+                    .map(|e| e.result_type(inputs[0]))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Schema::new(attrs, *key_arity))
+            }
+            RaOp::Join { key_len } => {
+                kw_relational::ops::join_schema(inputs[0], inputs[1], *key_len)
+            }
+            RaOp::Product => {
+                let mut attrs = inputs[0].attrs().to_vec();
+                attrs.extend_from_slice(inputs[1].attrs());
+                Ok(Schema::new(attrs, inputs[0].key_arity()))
+            }
+            RaOp::SemiJoin { key_len } | RaOp::AntiJoin { key_len } => {
+                if *key_len == 0
+                    || *key_len > inputs[0].key_arity()
+                    || *key_len > inputs[1].key_arity()
+                {
+                    return Err(RelationalError::BadKeyArity {
+                        key_arity: *key_len,
+                        arity: inputs[0].key_arity().min(inputs[1].key_arity()),
+                    });
+                }
+                for k in 0..*key_len {
+                    if inputs[0].attr(k) != inputs[1].attr(k) {
+                        return Err(RelationalError::SchemaMismatch {
+                            detail: format!("semi/anti-join key attribute {k} type mismatch"),
+                        });
+                    }
+                }
+                Ok(inputs[0].clone())
+            }
+            RaOp::Union | RaOp::Intersect | RaOp::Difference => {
+                if inputs[0] != inputs[1] {
+                    return Err(RelationalError::SchemaMismatch {
+                        detail: format!(
+                            "set operation on {} and {}",
+                            inputs[0], inputs[1]
+                        ),
+                    });
+                }
+                Ok(inputs[0].clone())
+            }
+            RaOp::Unique => Ok(inputs[0].clone()),
+            RaOp::Sort { attrs } => {
+                let mut order = attrs.clone();
+                for a in 0..inputs[0].arity() {
+                    if !attrs.contains(&a) {
+                        order.push(a);
+                    }
+                }
+                inputs[0].project(&order, attrs.len().max(1).min(order.len()))
+            }
+            RaOp::Aggregate { group_by, aggs } => {
+                // Reuse kernel-ir's inference via a schema-only computation.
+                agg_schema(inputs[0], group_by, aggs)
+            }
+        }
+    }
+}
+
+fn agg_schema(input: &Schema, group_by: &[usize], aggs: &[AggFn]) -> Result<Schema> {
+    use kw_relational::{AttrType, RelationalError};
+    let mut attrs = Vec::new();
+    for &g in group_by {
+        if g >= input.arity() {
+            return Err(RelationalError::AttrOutOfBounds {
+                attr: g,
+                arity: input.arity(),
+            });
+        }
+        attrs.push(input.attr(g));
+    }
+    for agg in aggs {
+        let t = match agg {
+            AggFn::Count => AttrType::U64,
+            AggFn::Avg(_) => AttrType::F32,
+            AggFn::Sum(a) => {
+                check_attr(input, *a)?;
+                if input.attr(*a) == AttrType::F32 {
+                    AttrType::F32
+                } else {
+                    AttrType::U64
+                }
+            }
+            AggFn::Min(a) | AggFn::Max(a) => {
+                check_attr(input, *a)?;
+                input.attr(*a)
+            }
+        };
+        attrs.push(t);
+    }
+    if attrs.is_empty() {
+        return Err(RelationalError::BadKeyArity {
+            key_arity: 0,
+            arity: 0,
+        });
+    }
+    Ok(Schema::new(attrs, group_by.len()))
+}
+
+fn check_attr(s: &Schema, a: usize) -> Result<()> {
+    if a >= s.arity() {
+        return Err(kw_relational::RelationalError::AttrOutOfBounds {
+            attr: a,
+            arity: s.arity(),
+        });
+    }
+    Ok(())
+}
+
+impl fmt::Display for RaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaOp::Select { pred } => write!(f, "SELECT[{pred}]"),
+            RaOp::Project { attrs, .. } => write!(f, "PROJECT{attrs:?}"),
+            RaOp::Map { exprs, .. } => write!(f, "MAP[{} exprs]", exprs.len()),
+            RaOp::Join { key_len } => write!(f, "JOIN[key={key_len}]"),
+            RaOp::Product => write!(f, "PRODUCT"),
+            RaOp::SemiJoin { key_len } => write!(f, "SEMIJOIN[key={key_len}]"),
+            RaOp::AntiJoin { key_len } => write!(f, "ANTIJOIN[key={key_len}]"),
+            RaOp::Union => write!(f, "UNION"),
+            RaOp::Intersect => write!(f, "INTERSECT"),
+            RaOp::Difference => write!(f, "DIFFERENCE"),
+            RaOp::Unique => write!(f, "UNIQUE"),
+            RaOp::Sort { attrs } => write!(f, "SORT{attrs:?}"),
+            RaOp::Aggregate { group_by, .. } => write!(f, "AGGREGATE{group_by:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_relational::{CmpOp, Value};
+
+    #[test]
+    fn arities() {
+        assert_eq!(RaOp::Select { pred: Predicate::True }.arity(), 1);
+        assert_eq!(RaOp::Join { key_len: 1 }.arity(), 2);
+        assert_eq!(RaOp::Union.arity(), 2);
+    }
+
+    #[test]
+    fn output_schemas() {
+        let s = Schema::uniform_u32(4);
+        let sel = RaOp::Select {
+            pred: Predicate::cmp(0, CmpOp::Lt, Value::U32(1)),
+        };
+        assert_eq!(sel.output_schema(&[&s]).unwrap(), s);
+
+        let proj = RaOp::Project {
+            attrs: vec![0, 1],
+            key_arity: 1,
+        };
+        assert_eq!(proj.output_schema(&[&s]).unwrap().arity(), 2);
+
+        let join = RaOp::Join { key_len: 1 };
+        assert_eq!(join.output_schema(&[&s, &s]).unwrap().arity(), 7);
+
+        let agg = RaOp::Aggregate {
+            group_by: vec![0],
+            aggs: vec![AggFn::Count],
+        };
+        assert_eq!(agg.output_schema(&[&s]).unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn wrong_input_count_rejected() {
+        let s = Schema::uniform_u32(2);
+        assert!(RaOp::Product.output_schema(&[&s]).is_err());
+        assert!(RaOp::Unique.output_schema(&[&s, &s]).is_err());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(RaOp::Product.to_string().contains("PRODUCT"));
+        assert!(RaOp::Sort { attrs: vec![1] }.to_string().contains('1'));
+    }
+}

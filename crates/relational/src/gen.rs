@@ -1,0 +1,175 @@
+//! Random relation generators for tests and benchmarks.
+//!
+//! The paper's micro-benchmarks feed "randomly generated 32-bit integers";
+//! these helpers reproduce that, including generators with a controlled
+//! selectivity for the Figure 20 sweep and join inputs with a controlled
+//! match rate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{AttrType, Relation, Schema, Value};
+
+/// Deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A relation of `n` tuples with uniformly random attribute values.
+///
+/// Keys are drawn from `0..key_range` so duplicate density is controllable;
+/// non-key attributes are uniform over the full attribute domain.
+pub fn random_relation(
+    schema: &Schema,
+    n: usize,
+    key_range: u64,
+    rng: &mut impl Rng,
+) -> Relation {
+    let mut words = Vec::with_capacity(n * schema.arity());
+    for _ in 0..n {
+        for (i, &ty) in schema.attrs().iter().enumerate() {
+            let w = if i < schema.key_arity() {
+                random_word_in(ty, key_range.max(1), rng)
+            } else {
+                random_word(ty, rng)
+            };
+            words.push(w);
+        }
+    }
+    Relation::from_words(schema.clone(), words).expect("generated data matches schema")
+}
+
+/// The paper's default micro-benchmark input: `n` tuples of four `u32`
+/// attributes (16 bytes/tuple), single-attribute key.
+pub fn micro_input(n: usize, seed: u64) -> Relation {
+    let schema = Schema::uniform_u32(4);
+    random_relation(&schema, n, u64::from(u32::MAX), &mut rng(seed))
+}
+
+/// An input for SELECT whose attribute 1 matches `Predicate::cmp(1, Lt,
+/// threshold_for(selectivity))` with probability `selectivity`.
+///
+/// Attribute 1 is uniform in `0..SELECTIVITY_DOMAIN`; combine with
+/// [`selectivity_threshold`] to build the predicate.
+pub fn selectivity_input(n: usize, arity: usize, seed: u64) -> Relation {
+    let schema = Schema::uniform_u32(arity.max(2));
+    let mut r = rng(seed);
+    let mut words = Vec::with_capacity(n * schema.arity());
+    for _ in 0..n {
+        for i in 0..schema.arity() {
+            if i == 1 {
+                words.push(u64::from(r.gen_range(0..SELECTIVITY_DOMAIN)));
+            } else {
+                words.push(u64::from(r.gen::<u32>()));
+            }
+        }
+    }
+    Relation::from_words(schema, words).expect("generated data matches schema")
+}
+
+/// Domain used by [`selectivity_input`] for the filtered attribute.
+pub const SELECTIVITY_DOMAIN: u32 = 1 << 20;
+
+/// The `Lt` threshold on attribute 1 that yields the given selectivity over
+/// [`selectivity_input`] data.
+pub fn selectivity_threshold(selectivity: f64) -> Value {
+    let t = (f64::from(SELECTIVITY_DOMAIN) * selectivity.clamp(0.0, 1.0)).round() as u32;
+    Value::U32(t)
+}
+
+/// A pair of join inputs of `n` tuples each where a fraction `match_rate` of
+/// left keys also appear on the right. Keys are unique per side.
+pub fn join_inputs(
+    n: usize,
+    arity: usize,
+    match_rate: f64,
+    seed: u64,
+) -> (Relation, Relation) {
+    let schema = Schema::uniform_u32(arity.max(2));
+    let mut r = rng(seed);
+    let matched = ((n as f64) * match_rate.clamp(0.0, 1.0)).round() as usize;
+
+    let mut left = Vec::with_capacity(n * schema.arity());
+    let mut right = Vec::with_capacity(n * schema.arity());
+    for k in 0..n {
+        // Left keys: even numbers. Right keys: even for matched, odd beyond.
+        let lkey = (k as u64) * 2;
+        let rkey = if k < matched {
+            lkey
+        } else {
+            (k as u64) * 2 + 1
+        };
+        left.push(lkey);
+        right.push(rkey);
+        for _ in 1..schema.arity() {
+            left.push(u64::from(r.gen::<u32>()));
+        }
+        for _ in 1..schema.arity() {
+            right.push(u64::from(r.gen::<u32>()));
+        }
+    }
+    let l = Relation::from_words(schema.clone(), left).expect("left join input");
+    let r = Relation::from_words(schema, right).expect("right join input");
+    (l, r)
+}
+
+fn random_word(ty: AttrType, rng: &mut impl Rng) -> u64 {
+    match ty {
+        AttrType::U32 => u64::from(rng.gen::<u32>()),
+        AttrType::U64 => rng.gen::<u64>(),
+        AttrType::F32 => u64::from(rng.gen::<f32>().to_bits()),
+        AttrType::Bool => u64::from(rng.gen::<bool>()),
+    }
+}
+
+fn random_word_in(ty: AttrType, range: u64, rng: &mut impl Rng) -> u64 {
+    match ty {
+        AttrType::U32 => rng.gen_range(0..range.min(u64::from(u32::MAX))),
+        AttrType::U64 => rng.gen_range(0..range),
+        AttrType::F32 => u64::from((rng.gen::<f32>() * range as f32).to_bits()),
+        AttrType::Bool => u64::from(rng.gen::<bool>()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ops, CmpOp, Predicate};
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(micro_input(100, 7), micro_input(100, 7));
+        assert_ne!(micro_input(100, 7), micro_input(100, 8));
+    }
+
+    #[test]
+    fn micro_input_shape() {
+        let r = micro_input(50, 1);
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.schema().tuple_bytes(), 16);
+        assert!(r.is_sorted());
+    }
+
+    #[test]
+    fn selectivity_is_respected() {
+        let n = 20_000;
+        let r = selectivity_input(n, 4, 3);
+        for s in [0.1, 0.5, 0.9] {
+            let p = Predicate::cmp(1, CmpOp::Lt, selectivity_threshold(s));
+            let out = ops::select(&r, &p).unwrap();
+            let actual = out.len() as f64 / n as f64;
+            assert!(
+                (actual - s).abs() < 0.02,
+                "selectivity {s}: got {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_match_rate_respected() {
+        let (l, r) = join_inputs(1000, 2, 0.3, 5);
+        let out = ops::join(&l, &r, 1).unwrap();
+        let rate = out.len() as f64 / 1000.0;
+        assert!((rate - 0.3).abs() < 0.01, "match rate: {rate}");
+    }
+}

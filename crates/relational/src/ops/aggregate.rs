@@ -1,0 +1,292 @@
+//! AGGREGATE: grouped reduction (SUM / AVG / MIN / MAX / COUNT).
+//!
+//! TPC-H Q1 is the paper's "arithmetic centric" query: it groups `lineitem`
+//! by two flag attributes and computes sums and averages. Aggregation over
+//! groups requires a globally sorted order on the group attributes, so like
+//! SORT it introduces a *kernel dependence* in the plan graph.
+
+use std::cmp::Ordering;
+
+use crate::relation::compare_keys;
+use crate::{ops::sort_on, AttrType, RelationalError, Relation, Result, Schema, Value};
+
+/// An aggregation function over one attribute of each group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Number of tuples in the group (the attribute index is ignored but
+    /// kept for uniformity).
+    Count,
+    /// Sum of the attribute (u32 promotes to u64; f32 stays f32).
+    Sum(usize),
+    /// Arithmetic mean of the attribute, as f32.
+    Avg(usize),
+    /// Minimum of the attribute.
+    Min(usize),
+    /// Maximum of the attribute.
+    Max(usize),
+}
+
+impl AggFn {
+    fn attr(self) -> Option<usize> {
+        match self {
+            AggFn::Count => None,
+            AggFn::Sum(a) | AggFn::Avg(a) | AggFn::Min(a) | AggFn::Max(a) => Some(a),
+        }
+    }
+
+    fn result_type(self, schema: &Schema) -> Result<AttrType> {
+        match self {
+            AggFn::Count => Ok(AttrType::U64),
+            AggFn::Avg(_) => Ok(AttrType::F32),
+            AggFn::Sum(a) => {
+                let ty = check_numeric(schema, a)?;
+                Ok(match ty {
+                    AttrType::F32 => AttrType::F32,
+                    _ => AttrType::U64,
+                })
+            }
+            AggFn::Min(a) | AggFn::Max(a) => check_numeric(schema, a),
+        }
+    }
+
+    /// ALU operations contributed per input tuple (for the GPU cost model).
+    pub fn alu_ops(self) -> u64 {
+        match self {
+            AggFn::Count => 1,
+            AggFn::Sum(_) | AggFn::Min(_) | AggFn::Max(_) => 1,
+            AggFn::Avg(_) => 2,
+        }
+    }
+}
+
+fn check_numeric(schema: &Schema, attr: usize) -> Result<AttrType> {
+    if attr >= schema.arity() {
+        return Err(RelationalError::AttrOutOfBounds {
+            attr,
+            arity: schema.arity(),
+        });
+    }
+    let ty = schema.attr(attr);
+    if !ty.is_numeric() {
+        return Err(RelationalError::TypeMismatch {
+            expected: AttrType::U64,
+            found: ty,
+        });
+    }
+    Ok(ty)
+}
+
+/// Group `input` by the attributes `group_by` and compute `aggs` per group.
+///
+/// Output schema: the group attributes (as the key) followed by one
+/// attribute per aggregate. Groups appear in sorted order.
+///
+/// # Errors
+///
+/// Returns attribute/type errors from [`crate::RelationalError`] if a group
+/// or aggregate attribute is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use kw_relational::{ops, ops::AggFn, Relation, Schema};
+/// let r = Relation::from_words(Schema::uniform_u32(2), vec![1, 10, 1, 20, 2, 5])?;
+/// let out = ops::aggregate(&r, &[0], &[AggFn::Sum(1), AggFn::Count])?;
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(out.tuple(0), &[1, 30, 2]);
+/// # Ok::<(), kw_relational::RelationalError>(())
+/// ```
+pub fn aggregate(input: &Relation, group_by: &[usize], aggs: &[AggFn]) -> Result<Relation> {
+    for agg in aggs {
+        if let Some(a) = agg.attr() {
+            check_numeric(input.schema(), a)?;
+        }
+    }
+    // Sort so that group attributes lead; aggregate over runs.
+    let sorted = if group_by.is_empty() {
+        input.clone()
+    } else {
+        sort_on(input, group_by)?
+    };
+    // After sort_on, attribute i of `sorted` maps back: group attrs occupy
+    // positions 0..group_by.len(); remaining attrs follow in original order.
+    let remap = build_remap(input.schema().arity(), group_by);
+
+    let mut out_attrs: Vec<AttrType> = group_by.iter().map(|&a| input.schema().attr(a)).collect();
+    for agg in aggs {
+        out_attrs.push(agg.result_type(input.schema())?);
+    }
+    if out_attrs.is_empty() {
+        return Err(RelationalError::BadKeyArity {
+            key_arity: 0,
+            arity: 0,
+        });
+    }
+    let out_schema = Schema::new(out_attrs, group_by.len().max(if aggs.is_empty() { 1 } else { 0 }));
+
+    let g = group_by.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        // Find the end of this group (run of equal leading g attributes).
+        let mut end = i + 1;
+        while end < sorted.len() && same_group(&sorted, i, end, g) {
+            end += 1;
+        }
+        out.extend_from_slice(&sorted.tuple(i)[..g]);
+        for agg in aggs {
+            out.push(eval_agg(&sorted, i, end, *agg, &remap, input.schema()));
+        }
+        i = end;
+    }
+    Relation::from_words(out_schema, out)
+}
+
+fn build_remap(arity: usize, group_by: &[usize]) -> Vec<usize> {
+    // remap[original_attr] = position in sorted relation.
+    let mut remap = vec![usize::MAX; arity];
+    for (pos, &a) in group_by.iter().enumerate() {
+        remap[a] = pos;
+    }
+    let mut next = group_by.len();
+    for (a, slot) in remap.iter_mut().enumerate() {
+        if *slot == usize::MAX {
+            *slot = next;
+            next += 1;
+            let _ = a;
+        }
+    }
+    remap
+}
+
+fn same_group(rel: &Relation, a: usize, b: usize, g: usize) -> bool {
+    if g == 0 {
+        return true;
+    }
+    // After sort_on the group attributes are exactly the key prefix.
+    compare_keys(rel.schema(), rel.tuple(a), rel.tuple(b)) == Ordering::Equal
+}
+
+fn eval_agg(
+    rel: &Relation,
+    start: usize,
+    end: usize,
+    agg: AggFn,
+    remap: &[usize],
+    orig_schema: &Schema,
+) -> u64 {
+    match agg {
+        AggFn::Count => (end - start) as u64,
+        AggFn::Sum(a) => {
+            let col = remap[a];
+            match orig_schema.attr(a) {
+                AttrType::F32 => {
+                    let s: f64 = (start..end)
+                        .map(|i| f64::from(f32::from_bits(rel.tuple(i)[col] as u32)))
+                        .sum();
+                    Value::F32(s as f32).encode()
+                }
+                _ => (start..end).fold(0u64, |acc, i| acc.wrapping_add(rel.tuple(i)[col])),
+            }
+        }
+        AggFn::Avg(a) => {
+            let col = remap[a];
+            let n = (end - start) as f64;
+            let s: f64 = (start..end)
+                .map(|i| match orig_schema.attr(a) {
+                    AttrType::F32 => f64::from(f32::from_bits(rel.tuple(i)[col] as u32)),
+                    _ => rel.tuple(i)[col] as f64,
+                })
+                .sum();
+            Value::F32((s / n) as f32).encode()
+        }
+        AggFn::Min(a) | AggFn::Max(a) => {
+            let col = remap[a];
+            let ty = orig_schema.attr(a);
+            let mut best = rel.tuple(start)[col];
+            for i in start + 1..end {
+                let w = rel.tuple(i)[col];
+                let ord = crate::compare_words(w, best, ty);
+                let better = if matches!(agg, AggFn::Min(_)) {
+                    ord == Ordering::Less
+                } else {
+                    ord == Ordering::Greater
+                };
+                if better {
+                    best = w;
+                }
+            }
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_sum_count() {
+        let r = Relation::from_words(
+            Schema::uniform_u32(2),
+            vec![1, 10, 1, 20, 2, 5, 2, 6, 2, 7],
+        )
+        .unwrap();
+        let out = aggregate(&r, &[0], &[AggFn::Sum(1), AggFn::Count]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.tuple(0), &[1, 30, 2]);
+        assert_eq!(out.tuple(1), &[2, 18, 3]);
+    }
+
+    #[test]
+    fn min_max() {
+        let r = Relation::from_words(Schema::uniform_u32(2), vec![1, 9, 1, 3, 1, 7]).unwrap();
+        let out = aggregate(&r, &[0], &[AggFn::Min(1), AggFn::Max(1)]).unwrap();
+        assert_eq!(out.tuple(0), &[1, 3, 9]);
+    }
+
+    #[test]
+    fn avg_is_f32() {
+        let r = Relation::from_words(Schema::uniform_u32(2), vec![1, 1, 1, 2]).unwrap();
+        let out = aggregate(&r, &[0], &[AggFn::Avg(1)]).unwrap();
+        assert_eq!(out.value(0, 1), Value::F32(1.5));
+    }
+
+    #[test]
+    fn float_sum() {
+        let s = Schema::new(vec![AttrType::U32, AttrType::F32], 1);
+        let r = Relation::from_rows(
+            s,
+            &[
+                vec![Value::U32(1), Value::F32(0.5)],
+                vec![Value::U32(1), Value::F32(0.25)],
+            ],
+        )
+        .unwrap();
+        let out = aggregate(&r, &[0], &[AggFn::Sum(1)]).unwrap();
+        assert_eq!(out.value(0, 1), Value::F32(0.75));
+    }
+
+    #[test]
+    fn global_aggregate_without_group() {
+        let r = Relation::from_words(Schema::uniform_u32(1), vec![1, 2, 3]).unwrap();
+        let out = aggregate(&r, &[], &[AggFn::Sum(0), AggFn::Count]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuple(0), &[6, 3]);
+    }
+
+    #[test]
+    fn group_by_non_key_attr() {
+        let r = Relation::from_words(Schema::uniform_u32(2), vec![1, 5, 2, 5, 3, 6]).unwrap();
+        let out = aggregate(&r, &[1], &[AggFn::Count]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.tuple(0), &[5, 2]);
+        assert_eq!(out.tuple(1), &[6, 1]);
+    }
+
+    #[test]
+    fn bad_attr_rejected() {
+        let r = Relation::from_words(Schema::uniform_u32(1), vec![1]).unwrap();
+        assert!(aggregate(&r, &[0], &[AggFn::Sum(7)]).is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! The [`Relation`] container: a densely packed, key-sorted array of tuples.
+//!
+//! This mirrors the storage format of Diamos et al. used by the paper: a
+//! relation is a dense array of fixed-width tuples maintained in strict weak
+//! order on the key attributes, which enables the binary-search partitioning
+//! used by the multi-stage GPU skeletons.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{compare_words, RelationalError, Result, Schema, Value};
+
+/// A relation: a schema plus a densely packed, key-sorted tuple array.
+///
+/// Tuples are stored row-major, one `u64` word per attribute. The invariant
+/// maintained by every constructor and operator is that tuples are sorted by
+/// their key attributes under the total order of [`compare_words`].
+///
+/// # Examples
+///
+/// ```
+/// use kw_relational::{Relation, Schema, AttrType, Value};
+/// let schema = Schema::new(vec![AttrType::U32, AttrType::U32], 1);
+/// let rel = Relation::from_rows(
+///     schema,
+///     &[vec![Value::U32(3), Value::U32(30)], vec![Value::U32(1), Value::U32(10)]],
+/// )?;
+/// assert_eq!(rel.len(), 2);
+/// // Stored sorted by key:
+/// assert_eq!(rel.value(0, 0), Value::U32(1));
+/// # Ok::<(), kw_relational::RelationalError>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    data: Vec<u64>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            data: Vec::new(),
+        }
+    }
+
+    /// Build a relation from raw words, sorting by key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationalError::MalformedData`] if `data.len()` is not a
+    /// multiple of the schema arity.
+    pub fn from_words(schema: Schema, mut data: Vec<u64>) -> Result<Relation> {
+        let arity = schema.arity();
+        if !data.len().is_multiple_of(arity) {
+            return Err(RelationalError::MalformedData {
+                words: data.len(),
+                arity,
+            });
+        }
+        sort_words(&schema, &mut data);
+        Ok(Relation { schema, data })
+    }
+
+    /// Build a relation from raw words that are already key-sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationalError::MalformedData`] on a word-count mismatch
+    /// and [`RelationalError::NotSorted`] if the data violates key order.
+    pub fn from_sorted_words(schema: Schema, data: Vec<u64>) -> Result<Relation> {
+        let arity = schema.arity();
+        if !data.len().is_multiple_of(arity) {
+            return Err(RelationalError::MalformedData {
+                words: data.len(),
+                arity,
+            });
+        }
+        let rel = Relation { schema, data };
+        if let Some(index) = rel.first_unsorted() {
+            return Err(RelationalError::NotSorted { index });
+        }
+        Ok(rel)
+    }
+
+    /// Build a relation from typed rows, sorting by key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationalError::MalformedData`] if a row's length differs
+    /// from the schema arity, and [`RelationalError::TypeMismatch`] if a
+    /// value's type differs from the schema's attribute type.
+    pub fn from_rows(schema: Schema, rows: &[Vec<Value>]) -> Result<Relation> {
+        let arity = schema.arity();
+        let mut data = Vec::with_capacity(rows.len() * arity);
+        for row in rows {
+            if row.len() != arity {
+                return Err(RelationalError::MalformedData {
+                    words: row.len(),
+                    arity,
+                });
+            }
+            for (i, v) in row.iter().enumerate() {
+                if v.attr_type() != schema.attr(i) {
+                    return Err(RelationalError::TypeMismatch {
+                        expected: schema.attr(i),
+                        found: v.attr_type(),
+                    });
+                }
+                data.push(v.encode());
+            }
+        }
+        Relation::from_words(schema, data)
+    }
+
+    /// The schema of this relation.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        if self.data.is_empty() {
+            0
+        } else {
+            self.data.len() / self.schema.arity()
+        }
+    }
+
+    /// Whether the relation contains no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total packed size on the device, in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.len() * self.schema.tuple_bytes()
+    }
+
+    /// Raw word storage (row-major).
+    pub fn words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// The raw words of tuple `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn tuple(&self, i: usize) -> &[u64] {
+        let a = self.schema.arity();
+        &self.data[i * a..(i + 1) * a]
+    }
+
+    /// The decoded value of attribute `attr` of tuple `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `attr` is out of bounds.
+    pub fn value(&self, i: usize, attr: usize) -> Value {
+        Value::decode(self.tuple(i)[attr], self.schema.attr(attr))
+    }
+
+    /// Iterate over tuples as raw word slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        self.data.chunks_exact(self.schema.arity().max(1))
+    }
+
+    /// Compare the keys of two raw tuples under this relation's schema.
+    pub fn compare_keys(&self, a: &[u64], b: &[u64]) -> Ordering {
+        compare_keys(&self.schema, a, b)
+    }
+
+    /// Index of the first tuple whose key is `>=` the key of `probe`
+    /// (lower bound by binary search). `probe` needs only `key_arity` words.
+    pub fn lower_bound(&self, probe: &[u64]) -> usize {
+        self.bound(probe, true)
+    }
+
+    /// Index of the first tuple whose key is `>` the key of `probe`
+    /// (upper bound by binary search).
+    pub fn upper_bound(&self, probe: &[u64]) -> usize {
+        self.bound(probe, false)
+    }
+
+    fn bound(&self, probe: &[u64], lower: bool) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let ord = compare_key_to_probe(&self.schema, self.tuple(mid), probe);
+            let go_right = if lower {
+                ord == Ordering::Less
+            } else {
+                ord != Ordering::Greater
+            };
+            if go_right {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// First index (if any) violating key sort order.
+    fn first_unsorted(&self) -> Option<usize> {
+        (1..self.len())
+            .find(|&i| compare_keys(&self.schema, self.tuple(i - 1), self.tuple(i)) == Ordering::Greater)
+    }
+
+    /// Whether the key-sorted invariant holds (always true for relations
+    /// produced by this crate; exposed for tests and debugging).
+    pub fn is_sorted(&self) -> bool {
+        self.first_unsorted().is_none()
+    }
+
+    /// Collect the rows as decoded values (convenience for tests).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len())
+            .map(|i| (0..self.schema.arity()).map(|a| self.value(i, a)).collect())
+            .collect()
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation{} [{} tuples]", self.schema, self.len())?;
+        let show = self.len().min(8);
+        for i in 0..show {
+            write!(f, "\n  (")?;
+            for a in 0..self.schema.arity() {
+                if a > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.value(i, a))?;
+            }
+            write!(f, ")")?;
+        }
+        if self.len() > show {
+            write!(f, "\n  ... {} more", self.len() - show)?;
+        }
+        Ok(())
+    }
+}
+
+/// Compare the key attributes of two raw tuples under `schema`.
+pub fn compare_keys(schema: &Schema, a: &[u64], b: &[u64]) -> Ordering {
+    for k in 0..schema.key_arity() {
+        let ord = compare_words(a[k], b[k], schema.attr(k));
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Compare the full tuples (all attributes) of two raw tuples.
+pub fn compare_tuples(schema: &Schema, a: &[u64], b: &[u64]) -> Ordering {
+    for k in 0..schema.arity() {
+        let ord = compare_words(a[k], b[k], schema.attr(k));
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Compare a tuple's key against a probe key that may be shorter than the
+/// full key (prefix comparison over `probe.len()` attributes).
+fn compare_key_to_probe(schema: &Schema, tuple: &[u64], probe: &[u64]) -> Ordering {
+    let n = probe.len().min(schema.key_arity());
+    for k in 0..n {
+        let ord = compare_words(tuple[k], probe[k], schema.attr(k));
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Sort raw tuple words in place by key, then by the remaining attributes to
+/// make operator outputs deterministic.
+pub(crate) fn sort_words(schema: &Schema, data: &mut Vec<u64>) {
+    let arity = schema.arity();
+    if arity == 0 || data.is_empty() {
+        return;
+    }
+    let mut tuples: Vec<&[u64]> = data.chunks_exact(arity).collect();
+    tuples.sort_by(|a, b| compare_tuples(schema, a, b));
+    let sorted: Vec<u64> = tuples.into_iter().flatten().copied().collect();
+    *data = sorted;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrType;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![AttrType::U32, AttrType::U32], 1)
+    }
+
+    #[test]
+    fn sorts_on_construction() {
+        let r = Relation::from_words(schema2(), vec![5, 50, 1, 10, 3, 30]).unwrap();
+        assert!(r.is_sorted());
+        assert_eq!(r.tuple(0), &[1, 10]);
+        assert_eq!(r.tuple(2), &[5, 50]);
+    }
+
+    #[test]
+    fn from_sorted_rejects_unsorted() {
+        let err = Relation::from_sorted_words(schema2(), vec![5, 50, 1, 10]).unwrap_err();
+        assert_eq!(err, RelationalError::NotSorted { index: 1 });
+    }
+
+    #[test]
+    fn malformed_data_rejected() {
+        assert!(matches!(
+            Relation::from_words(schema2(), vec![1, 2, 3]),
+            Err(RelationalError::MalformedData { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_type_checks() {
+        let rows = vec![vec![Value::U32(1), Value::F32(1.0)]];
+        assert!(matches!(
+            Relation::from_rows(schema2(), &rows),
+            Err(RelationalError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bounds() {
+        let r = Relation::from_words(schema2(), vec![1, 0, 3, 0, 3, 1, 7, 0]).unwrap();
+        assert_eq!(r.lower_bound(&[3]), 1);
+        assert_eq!(r.upper_bound(&[3]), 3);
+        assert_eq!(r.lower_bound(&[0]), 0);
+        assert_eq!(r.lower_bound(&[8]), 4);
+    }
+
+    #[test]
+    fn byte_size_uses_packed_widths() {
+        let s = Schema::new(vec![AttrType::U32, AttrType::Bool], 1);
+        let r = Relation::from_words(s, vec![1, 1, 2, 0]).unwrap();
+        assert_eq!(r.byte_size(), 2 * 5);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(schema2());
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.is_sorted());
+        assert_eq!(r.lower_bound(&[1]), 0);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let r = Relation::empty(schema2());
+        assert!(!format!("{r:?}").is_empty());
+    }
+}

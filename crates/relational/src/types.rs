@@ -1,0 +1,336 @@
+//! Attribute types, runtime values and schemas.
+//!
+//! Tuples are densely packed arrays of 64-bit words (one word per
+//! attribute). The [`AttrType`] of each attribute determines how the word is
+//! interpreted and, importantly for the GPU cost model, how many bytes the
+//! attribute occupies in the packed on-device layout (the paper's
+//! micro-benchmarks use 16-byte tuples of four 32-bit attributes).
+
+use std::fmt;
+
+/// The type of a single tuple attribute.
+///
+/// # Examples
+///
+/// ```
+/// use kw_relational::AttrType;
+/// assert_eq!(AttrType::U32.byte_width(), 4);
+/// assert_eq!(AttrType::F32.byte_width(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttrType {
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// 32-bit IEEE-754 float (stored as its bit pattern).
+    F32,
+    /// Boolean flag (stored as 0 or 1).
+    Bool,
+}
+
+impl AttrType {
+    /// Width of the attribute in the packed on-device layout, in bytes.
+    pub fn byte_width(self) -> usize {
+        match self {
+            AttrType::U32 | AttrType::F32 => 4,
+            AttrType::U64 => 8,
+            AttrType::Bool => 1,
+        }
+    }
+
+    /// Whether the attribute is a numeric type usable in arithmetic.
+    pub fn is_numeric(self) -> bool {
+        !matches!(self, AttrType::Bool)
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::U32 => "u32",
+            AttrType::U64 => "u64",
+            AttrType::F32 => "f32",
+            AttrType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed attribute value.
+///
+/// Values are the boundary type used by predicates, expressions and tests;
+/// inside a [`crate::Relation`] everything is stored as raw 64-bit words.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Unsigned 32-bit integer value.
+    U32(u32),
+    /// Unsigned 64-bit integer value.
+    U64(u64),
+    /// 32-bit float value.
+    F32(f32),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// The [`AttrType`] this value inhabits.
+    pub fn attr_type(self) -> AttrType {
+        match self {
+            Value::U32(_) => AttrType::U32,
+            Value::U64(_) => AttrType::U64,
+            Value::F32(_) => AttrType::F32,
+            Value::Bool(_) => AttrType::Bool,
+        }
+    }
+
+    /// Encode the value into the raw 64-bit word representation used by
+    /// [`crate::Relation`] storage.
+    pub fn encode(self) -> u64 {
+        match self {
+            Value::U32(v) => u64::from(v),
+            Value::U64(v) => v,
+            Value::F32(v) => u64::from(v.to_bits()),
+            Value::Bool(v) => u64::from(v),
+        }
+    }
+
+    /// Decode a raw word back into a value of type `ty`.
+    pub fn decode(word: u64, ty: AttrType) -> Value {
+        match ty {
+            AttrType::U32 => Value::U32(word as u32),
+            AttrType::U64 => Value::U64(word),
+            AttrType::F32 => Value::F32(f32::from_bits(word as u32)),
+            AttrType::Bool => Value::Bool(word != 0),
+        }
+    }
+
+    /// Numeric view of the value as `f64` (booleans become 0/1).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::U32(v) => f64::from(v),
+            Value::U64(v) => v as f64,
+            Value::F32(v) => f64::from(v),
+            Value::Bool(v) => f64::from(u8::from(v)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U32(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U32(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F32(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Compare two raw words under a shared attribute type.
+///
+/// Defines a total order (floats are compared via [`f32::total_cmp`]), which
+/// gives relations the strict weak ordering required by the multi-stage
+/// skeletons of Diamos et al.
+pub fn compare_words(a: u64, b: u64, ty: AttrType) -> std::cmp::Ordering {
+    match ty {
+        AttrType::U32 | AttrType::U64 | AttrType::Bool => a.cmp(&b),
+        AttrType::F32 => f32::from_bits(a as u32).total_cmp(&f32::from_bits(b as u32)),
+    }
+}
+
+/// The schema of a relation: the attribute types plus how many leading
+/// attributes form the key.
+///
+/// # Examples
+///
+/// ```
+/// use kw_relational::{AttrType, Schema};
+/// let schema = Schema::new(vec![AttrType::U32, AttrType::U32], 1);
+/// assert_eq!(schema.arity(), 2);
+/// assert_eq!(schema.tuple_bytes(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Vec<AttrType>,
+    key_arity: usize,
+}
+
+impl Schema {
+    /// Create a schema with the given attribute types; the first
+    /// `key_arity` attributes form the key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_arity` exceeds the number of attributes or if the
+    /// attribute list is empty.
+    pub fn new(attrs: Vec<AttrType>, key_arity: usize) -> Schema {
+        assert!(!attrs.is_empty(), "schema must have at least one attribute");
+        assert!(
+            key_arity <= attrs.len(),
+            "key arity {key_arity} exceeds attribute count {}",
+            attrs.len()
+        );
+        Schema { attrs, key_arity }
+    }
+
+    /// Convenience constructor for a schema of `arity` u32 attributes with a
+    /// single-attribute key — the shape used throughout the paper's
+    /// micro-benchmarks.
+    pub fn uniform_u32(arity: usize) -> Schema {
+        Schema::new(vec![AttrType::U32; arity], 1.min(arity))
+    }
+
+    /// Number of attributes per tuple.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of leading attributes forming the key.
+    pub fn key_arity(&self) -> usize {
+        self.key_arity
+    }
+
+    /// The attribute types.
+    pub fn attrs(&self) -> &[AttrType] {
+        &self.attrs
+    }
+
+    /// Type of attribute `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn attr(&self, i: usize) -> AttrType {
+        self.attrs[i]
+    }
+
+    /// Packed byte width of one tuple on the device.
+    pub fn tuple_bytes(&self) -> usize {
+        self.attrs.iter().map(|a| a.byte_width()).sum()
+    }
+
+    /// Schema produced by projecting onto `attrs` with a new key arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RelationalError::AttrOutOfBounds`] if any index is
+    /// out of range, or [`crate::RelationalError::BadKeyArity`] if the new
+    /// key arity exceeds the projected arity.
+    pub fn project(&self, attrs: &[usize], key_arity: usize) -> crate::Result<Schema> {
+        let mut out = Vec::with_capacity(attrs.len());
+        for &a in attrs {
+            if a >= self.arity() {
+                return Err(crate::RelationalError::AttrOutOfBounds {
+                    attr: a,
+                    arity: self.arity(),
+                });
+            }
+            out.push(self.attrs[a]);
+        }
+        if key_arity > out.len() || out.is_empty() {
+            return Err(crate::RelationalError::BadKeyArity {
+                key_arity,
+                arity: out.len(),
+            });
+        }
+        Ok(Schema::new(out, key_arity))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if i < self.key_arity {
+                write!(f, "*{a}")?;
+            } else {
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(AttrType::U32.byte_width(), 4);
+        assert_eq!(AttrType::U64.byte_width(), 8);
+        assert_eq!(AttrType::F32.byte_width(), 4);
+        assert_eq!(AttrType::Bool.byte_width(), 1);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        for v in [
+            Value::U32(17),
+            Value::U64(u64::MAX),
+            Value::F32(-2.5),
+            Value::Bool(true),
+        ] {
+            let w = v.encode();
+            assert_eq!(Value::decode(w, v.attr_type()), v);
+        }
+    }
+
+    #[test]
+    fn float_total_order() {
+        let a = Value::F32(-1.0).encode();
+        let b = Value::F32(2.0).encode();
+        assert_eq!(compare_words(a, b, AttrType::F32), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn schema_tuple_bytes() {
+        let s = Schema::new(vec![AttrType::U32; 4], 1);
+        assert_eq!(s.tuple_bytes(), 16);
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.key_arity(), 1);
+    }
+
+    #[test]
+    fn schema_project() {
+        let s = Schema::new(vec![AttrType::U32, AttrType::Bool, AttrType::F32], 1);
+        let p = s.project(&[0, 2], 1).unwrap();
+        assert_eq!(p.attrs(), &[AttrType::U32, AttrType::F32]);
+        assert!(s.project(&[5], 1).is_err());
+        assert!(s.project(&[0], 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "key arity")]
+    fn schema_bad_key_panics() {
+        let _ = Schema::new(vec![AttrType::U32], 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Synthetic TPC-H data generation.
+//!
+//! Cardinality ratios follow TPC-H (6,000 lineitems / 1,500 orders / 100
+//! suppliers per unit of scale; 25 nations), with value distributions chosen
+//! to match the selectivities the queries exercise: Q1's shipdate filter
+//! keeps ~98% of lineitem, ~49% of orders have status 'F', etc. Scale
+//! factor 1.0 here corresponds to roughly 1/1000 of dbgen's SF-1 so the
+//! simulator sweeps stay fast; the cost model is linear in input size above
+//! the launch-overhead regime.
+
+use rand::Rng;
+
+use kw_relational::{gen::rng, Relation, Value};
+
+use crate::schema::{
+    customer_schema, lineitem_schema, nation_schema, orders_schema, supplier_schema,
+    NATION_COUNT, SEGMENT_COUNT,
+};
+
+/// Day-number domain for dates.
+pub const DATE_MIN: u32 = 0;
+/// Upper bound of the date domain.
+pub const DATE_MAX: u32 = 2_500;
+/// Q1's `shipdate <= DATE_MAX - 90` threshold.
+pub const Q1_SHIPDATE_THRESHOLD: u32 = DATE_MAX - 90;
+
+/// A generated TPC-H-like database.
+#[derive(Debug, Clone)]
+pub struct TpchDb {
+    /// The `lineitem` table.
+    pub lineitem: Relation,
+    /// The `orders` table.
+    pub orders: Relation,
+    /// The `customer` table.
+    pub customer: Relation,
+    /// The `supplier` table.
+    pub supplier: Relation,
+    /// The `nation` table.
+    pub nation: Relation,
+}
+
+impl TpchDb {
+    /// Bindings suitable for [`kw_core::execute_plan`].
+    pub fn bindings(&self) -> Vec<(&str, &Relation)> {
+        vec![
+            ("lineitem", &self.lineitem),
+            ("orders", &self.orders),
+            ("customer", &self.customer),
+            ("supplier", &self.supplier),
+            ("nation", &self.nation),
+        ]
+    }
+}
+
+/// Generate a database at `scale` (1.0 ≈ 6,000 lineitems).
+pub fn generate(scale: f64, seed: u64) -> TpchDb {
+    let mut r = rng(seed);
+    let n_orders = ((1_500.0 * scale) as usize).max(4);
+    let n_lineitem = ((6_000.0 * scale) as usize).max(8);
+    let n_supplier = ((100.0 * scale) as usize).max(4);
+    let n_customer = ((150.0 * scale) as usize).max(4);
+
+    // nation: keys 0..25.
+    let nation = {
+        let mut words = Vec::new();
+        for k in 0..NATION_COUNT {
+            words.push(u64::from(k));
+            words.push(u64::from(r.gen_range(0..5u32))); // regionkey
+        }
+        Relation::from_words(nation_schema(), words).expect("nation rows")
+    };
+
+    // supplier: unique suppkeys, random nations.
+    let supplier = {
+        let mut words = Vec::new();
+        for k in 0..n_supplier as u32 {
+            words.push(u64::from(k));
+            words.push(u64::from(r.gen_range(0..NATION_COUNT)));
+        }
+        Relation::from_words(supplier_schema(), words).expect("supplier rows")
+    };
+
+    // customer: unique custkeys, random segment and nation.
+    let customer = {
+        let mut words = Vec::new();
+        for k in 0..n_customer as u32 {
+            words.push(u64::from(k));
+            words.push(u64::from(r.gen_range(0..SEGMENT_COUNT)));
+            words.push(u64::from(r.gen_range(0..NATION_COUNT)));
+        }
+        Relation::from_words(customer_schema(), words).expect("customer rows")
+    };
+
+    // orders: unique orderkeys; ~49% status F; uniform order dates.
+    let orders = {
+        let mut words = Vec::new();
+        for k in 0..n_orders as u32 {
+            words.push(u64::from(k));
+            let status = if r.gen_bool(0.49) { 0u32 } else { 1 + r.gen_range(0..2u32) };
+            words.push(u64::from(status));
+            words.push(u64::from(r.gen_range(0..n_customer as u32))); // custkey
+            words.push(u64::from(r.gen_range(DATE_MIN..DATE_MAX))); // orderdate
+        }
+        Relation::from_words(orders_schema(), words).expect("orders rows")
+    };
+
+    // lineitem: each row belongs to a random order and supplier.
+    let lineitem = {
+        let mut words = Vec::with_capacity(n_lineitem * 11);
+        for _ in 0..n_lineitem {
+            let orderkey = r.gen_range(0..n_orders as u32);
+            let suppkey = r.gen_range(0..n_supplier as u32);
+            let quantity = r.gen_range(1..51) as f32;
+            let price = r.gen_range(900.0..105_000.0f32);
+            let discount = r.gen_range(0..11) as f32 / 100.0;
+            let tax = r.gen_range(0..9) as f32 / 100.0;
+            let returnflag = r.gen_range(0..3u32);
+            let linestatus = r.gen_range(0..2u32);
+            let shipdate = r.gen_range(DATE_MIN..DATE_MAX);
+            let commitdate = shipdate.saturating_add(r.gen_range(0..60));
+            // ~40% of lineitems are late (receipt after commit), feeding Q21.
+            let late = r.gen_bool(0.4);
+            let receiptdate = if late {
+                commitdate + r.gen_range(1..30)
+            } else {
+                commitdate.saturating_sub(r.gen_range(0..15))
+            };
+            words.push(u64::from(orderkey));
+            words.push(u64::from(suppkey));
+            words.push(Value::F32(quantity).encode());
+            words.push(Value::F32(price).encode());
+            words.push(Value::F32(discount).encode());
+            words.push(Value::F32(tax).encode());
+            words.push(u64::from(returnflag));
+            words.push(u64::from(linestatus));
+            words.push(u64::from(shipdate));
+            words.push(u64::from(commitdate));
+            words.push(u64::from(receiptdate));
+        }
+        Relation::from_words(lineitem_schema(), words).expect("lineitem rows")
+    };
+
+    TpchDb {
+        lineitem,
+        orders,
+        customer,
+        supplier,
+        nation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::lineitem;
+    use kw_relational::{ops, CmpOp, Predicate};
+
+    #[test]
+    fn cardinalities_scale() {
+        let db = generate(1.0, 1);
+        assert_eq!(db.lineitem.len(), 6_000);
+        assert_eq!(db.orders.len(), 1_500);
+        assert_eq!(db.supplier.len(), 100);
+        assert_eq!(db.customer.len(), 150);
+        assert_eq!(db.nation.len(), 25);
+        let db2 = generate(2.0, 1);
+        assert_eq!(db2.lineitem.len(), 12_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(0.5, 9).lineitem, generate(0.5, 9).lineitem);
+    }
+
+    #[test]
+    fn q1_filter_keeps_most_rows() {
+        let db = generate(1.0, 2);
+        let pred = Predicate::cmp(
+            lineitem::SHIPDATE,
+            CmpOp::Le,
+            Value::U32(Q1_SHIPDATE_THRESHOLD),
+        );
+        let kept = ops::select(&db.lineitem, &pred).unwrap();
+        let frac = kept.len() as f64 / db.lineitem.len() as f64;
+        assert!(frac > 0.9 && frac < 1.0, "{frac}");
+    }
+
+    #[test]
+    fn late_lineitems_fraction() {
+        let db = generate(1.0, 3);
+        let pred = Predicate::cmp_attr(lineitem::RECEIPTDATE, CmpOp::Gt, lineitem::COMMITDATE);
+        let late = ops::select(&db.lineitem, &pred).unwrap();
+        let frac = late.len() as f64 / db.lineitem.len() as f64;
+        assert!((frac - 0.4).abs() < 0.05, "{frac}");
+    }
+}

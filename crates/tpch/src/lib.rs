@@ -1,0 +1,94 @@
+//! Synthetic TPC-H workloads for the Kernel Weaver reproduction.
+//!
+//! Provides the paper's evaluation workloads:
+//!
+//! * [`Pattern`] — the five micro-benchmark operator patterns of Figure 14,
+//!   mined from the 22 TPC-H queries;
+//! * [`q1`] / [`q21`] — the two full queries of Section 5.2 (arithmetic-
+//!   centric and relational-centric respectively), plus [`q3`] / [`q6`]
+//!   supporting the paper's "all 22 queries" generalization;
+//! * [`generate`] — a scale-factor synthetic generator for the TPC-H tables
+//!   the queries touch (numeric encodings; see `DESIGN.md` for the
+//!   substitution rationale).
+//!
+//! # Examples
+//!
+//! ```
+//! use kw_core::WeaverConfig;
+//! use kw_gpu_sim::{Device, DeviceConfig};
+//! use kw_tpch::Pattern;
+//!
+//! let workload = Pattern::A.build(10_000, 42);
+//! let mut fused_dev = Device::new(DeviceConfig::fermi_c2050());
+//! let fused = workload.run(&mut fused_dev, &WeaverConfig::default())?;
+//! let mut base_dev = Device::new(DeviceConfig::fermi_c2050());
+//! let base = workload.run(&mut base_dev, &WeaverConfig::default().baseline())?;
+//! assert!(base.gpu_seconds > fused.gpu_seconds);
+//! # Ok::<(), kw_core::WeaverError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod gen;
+mod more_queries;
+mod patterns;
+mod queries;
+pub mod schema;
+
+use kw_core::{execute_plan, PlanReport, QueryPlan, WeaverConfig};
+use kw_gpu_sim::Device;
+use kw_relational::Relation;
+
+pub use gen::{generate, TpchDb, DATE_MAX, DATE_MIN, Q1_SHIPDATE_THRESHOLD};
+pub use patterns::{pattern_a, pattern_b, pattern_c, pattern_d, pattern_e, Pattern};
+pub use more_queries::{q3, q3_plan, q6, q6_plan, Q3_DATE, Q6_DATE_START};
+pub use queries::{q1, q1_plan, q21, q21_plan, Q21_NATION};
+pub use schema::STATUS_F;
+
+/// A ready-to-run workload: a query plan plus the relations it binds.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name.
+    pub name: String,
+    /// The query plan.
+    pub plan: QueryPlan,
+    /// Named input relations.
+    pub data: Vec<(String, Relation)>,
+}
+
+impl Workload {
+    /// Bundle a plan with its data.
+    pub fn new(
+        name: impl Into<String>,
+        plan: QueryPlan,
+        data: Vec<(String, Relation)>,
+    ) -> Workload {
+        Workload {
+            name: name.into(),
+            plan,
+            data,
+        }
+    }
+
+    /// Borrowed bindings for [`execute_plan`].
+    pub fn bindings(&self) -> Vec<(&str, &Relation)> {
+        self.data
+            .iter()
+            .map(|(n, r)| (n.as_str(), r))
+            .collect()
+    }
+
+    /// Total bytes of the input relations.
+    pub fn input_bytes(&self) -> u64 {
+        self.data.iter().map(|(_, r)| r.byte_size() as u64).sum()
+    }
+
+    /// Compile and run the workload on `device` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`kw_core::WeaverError`] from compilation or execution.
+    pub fn run(&self, device: &mut Device, config: &WeaverConfig) -> kw_core::Result<PlanReport> {
+        execute_plan(&self.plan, &self.bindings(), device, config)
+    }
+}

@@ -1,0 +1,326 @@
+//! Additional TPC-H queries (Q3, Q6) supporting the paper's closing claim
+//! that the fused patterns "appear very frequently in all 22 queries of
+//! TPC-H so that they can all get similar speedup from kernel fusion".
+//!
+//! Q6 is the simplest arithmetic-centric query (filters + one revenue
+//! expression + a global sum); Q3 is a three-table join pipeline with two
+//! SORT re-keying boundaries, like Q21 but shallower.
+
+use kw_primitives::RaOp;
+use kw_relational::ops::AggFn;
+use kw_relational::{CmpOp, Expr, Predicate, Value};
+
+use crate::schema::{customer as c, lineitem as l, orders as o, SEGMENT_BUILDING};
+use crate::{generate, TpchDb, Workload, DATE_MAX};
+
+/// Q6's date-window start (one "year" before the end of the domain).
+pub const Q6_DATE_START: u32 = DATE_MAX - 365;
+
+/// Build TPC-H Q6 ("forecasting revenue change") over a generated database.
+///
+/// ```sql
+/// SELECT SUM(extendedprice * discount) FROM lineitem
+/// WHERE shipdate >= :start AND shipdate < :start + 365
+///   AND discount BETWEEN 0.05 AND 0.07 AND quantity < 24
+/// ```
+///
+/// Two chained SELECTs and one arithmetic MAP — all fusible — feeding a
+/// global (ungrouped) SUM.
+pub fn q6(scale: f64, seed: u64) -> Workload {
+    q6_plan(generate(scale, seed))
+}
+
+/// Q6 over an existing database.
+pub fn q6_plan(db: TpchDb) -> Workload {
+    let mut plan = kw_core::QueryPlan::new();
+    let li = plan.add_input("lineitem", db.lineitem.schema().clone());
+
+    // Date window.
+    let dated = plan
+        .add_op(
+            RaOp::Select {
+                pred: Predicate::cmp(l::SHIPDATE, CmpOp::Ge, Value::U32(Q6_DATE_START))
+                    .and(Predicate::cmp(l::SHIPDATE, CmpOp::Lt, Value::U32(DATE_MAX))),
+            },
+            &[li],
+        )
+        .expect("q6 date select");
+
+    // Discount band and quantity cap.
+    let banded = plan
+        .add_op(
+            RaOp::Select {
+                pred: Predicate::cmp(l::DISCOUNT, CmpOp::Ge, Value::F32(0.05))
+                    .and(Predicate::cmp(l::DISCOUNT, CmpOp::Le, Value::F32(0.07)))
+                    .and(Predicate::cmp(l::QUANTITY, CmpOp::Lt, Value::F32(24.0))),
+            },
+            &[dated],
+        )
+        .expect("q6 band select");
+
+    // revenue = extendedprice * discount.
+    let revenue = plan
+        .add_op(
+            RaOp::Map {
+                exprs: vec![Expr::attr(l::EXTENDEDPRICE).mul(Expr::attr(l::DISCOUNT))],
+                key_arity: 0,
+            },
+            &[banded],
+        )
+        .expect("q6 map");
+
+    // Global sum (no grouping).
+    let total = plan
+        .add_op(
+            RaOp::Aggregate {
+                group_by: vec![],
+                aggs: vec![AggFn::Sum(0), AggFn::Count],
+            },
+            &[revenue],
+        )
+        .expect("q6 sum");
+    plan.mark_output(total);
+
+    Workload::new("TPC-H Q6", plan, vec![("lineitem".into(), db.lineitem)])
+}
+
+/// Q3's order-date / ship-date pivot.
+pub const Q3_DATE: u32 = DATE_MAX / 2;
+
+/// Build TPC-H Q3 ("shipping priority") over a generated database.
+///
+/// ```sql
+/// SELECT l_orderkey, SUM(extendedprice * (1 - discount)) AS revenue
+/// FROM customer, orders, lineitem
+/// WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+///   AND l_orderkey = o_orderkey AND o_orderdate < :date AND l_shipdate > :date
+/// GROUP BY l_orderkey
+/// ```
+pub fn q3(scale: f64, seed: u64) -> Workload {
+    q3_plan(generate(scale, seed))
+}
+
+/// Q3 over an existing database.
+pub fn q3_plan(db: TpchDb) -> Workload {
+    let mut plan = kw_core::QueryPlan::new();
+    let cu = plan.add_input("customer", db.customer.schema().clone());
+    let or = plan.add_input("orders", db.orders.schema().clone());
+    let li = plan.add_input("lineitem", db.lineitem.schema().clone());
+
+    // BUILDING customers, trimmed to their key.
+    let building = plan
+        .add_op(
+            RaOp::Select {
+                pred: Predicate::cmp(c::MKTSEGMENT, CmpOp::Eq, Value::U32(SEGMENT_BUILDING)),
+            },
+            &[cu],
+        )
+        .expect("q3 segment select");
+    let ckeys = plan
+        .add_op(
+            RaOp::Project {
+                attrs: vec![c::CUSTKEY],
+                key_arity: 1,
+            },
+            &[building],
+        )
+        .expect("q3 customer project");
+
+    // Orders before the pivot date, re-keyed to custkey (SORT boundary).
+    let recent = plan
+        .add_op(
+            RaOp::Select {
+                pred: Predicate::cmp(o::ORDERDATE, CmpOp::Lt, Value::U32(Q3_DATE)),
+            },
+            &[or],
+        )
+        .expect("q3 order select");
+    let by_cust = plan
+        .add_op(RaOp::Sort { attrs: vec![o::CUSTKEY] }, &[recent])
+        .expect("q3 sort by custkey");
+    // Layout after sort: (ck, ok, status, odate).
+
+    // Join customers and re-key the result back to orderkey.
+    let cj = plan
+        .add_op(RaOp::Join { key_len: 1 }, &[ckeys, by_cust])
+        .expect("q3 customer join");
+    let by_order = plan
+        .add_op(RaOp::Sort { attrs: vec![1] }, &[cj])
+        .expect("q3 sort by orderkey");
+    // Layout: (ok, ck, status, odate).
+
+    // Lineitems shipped after the pivot, trimmed to (ok, price, discount).
+    let shipped = plan
+        .add_op(
+            RaOp::Select {
+                pred: Predicate::cmp(l::SHIPDATE, CmpOp::Gt, Value::U32(Q3_DATE)),
+            },
+            &[li],
+        )
+        .expect("q3 lineitem select");
+    let ltrim = plan
+        .add_op(
+            RaOp::Project {
+                attrs: vec![l::ORDERKEY, l::EXTENDEDPRICE, l::DISCOUNT],
+                key_arity: 1,
+            },
+            &[shipped],
+        )
+        .expect("q3 lineitem project");
+
+    // Join and compute revenue per row.
+    let j = plan
+        .add_op(RaOp::Join { key_len: 1 }, &[by_order, ltrim])
+        .expect("q3 final join");
+    // Layout: (ok, ck, status, odate, price, discount).
+    let rev = plan
+        .add_op(
+            RaOp::Map {
+                exprs: vec![
+                    Expr::attr(0),
+                    Expr::attr(4).mul(Expr::lit(1.0f32).sub(Expr::attr(5))),
+                ],
+                key_arity: 1,
+            },
+            &[j],
+        )
+        .expect("q3 revenue map");
+
+    // GROUP BY orderkey.
+    let grouped = plan
+        .add_op(
+            RaOp::Aggregate {
+                group_by: vec![0],
+                aggs: vec![AggFn::Sum(1)],
+            },
+            &[rev],
+        )
+        .expect("q3 aggregate");
+    plan.mark_output(grouped);
+
+    Workload::new(
+        "TPC-H Q3",
+        plan,
+        vec![
+            ("customer".into(), db.customer),
+            ("orders".into(), db.orders),
+            ("lineitem".into(), db.lineitem),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_core::WeaverConfig;
+    use kw_gpu_sim::{Device, DeviceConfig};
+    use kw_relational::Value as V;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::fermi_c2050())
+    }
+
+    #[test]
+    fn q6_matches_brute_force() {
+        let db = generate(1.0, 51);
+        let w = q6_plan(db.clone());
+        let mut d = device();
+        let r = w.run(&mut d, &WeaverConfig::default()).unwrap();
+        let out = r.outputs.values().next().unwrap();
+        assert_eq!(out.len(), 1);
+        let got = match out.value(0, 0) {
+            V::F32(x) => f64::from(x),
+            v => panic!("{v:?}"),
+        };
+
+        let mut expected = 0.0f64;
+        for i in 0..db.lineitem.len() {
+            let t = db.lineitem.tuple(i);
+            let ship = t[crate::schema::lineitem::SHIPDATE] as u32;
+            let disc = f32::from_bits(t[crate::schema::lineitem::DISCOUNT] as u32);
+            let qty = f32::from_bits(t[crate::schema::lineitem::QUANTITY] as u32);
+            let price = f32::from_bits(t[crate::schema::lineitem::EXTENDEDPRICE] as u32);
+            if (Q6_DATE_START..DATE_MAX).contains(&ship)
+                && (0.05..=0.07).contains(&disc)
+                && qty < 24.0
+            {
+                expected += f64::from(price) * f64::from(disc);
+            }
+        }
+        let rel_err = (got - expected).abs() / expected.max(1.0);
+        assert!(rel_err < 1e-3, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn q6_fuses_everything_but_the_sum() {
+        let w = q6(1.0, 52);
+        let compiled = kw_core::compile(&w.plan, &WeaverConfig::default()).unwrap();
+        // selects + map fuse into one kernel; the aggregate stays.
+        assert_eq!(compiled.steps.len(), 2);
+        assert!(compiled.steps.iter().any(|s| s.fused));
+    }
+
+    #[test]
+    fn q3_fused_equals_baseline() {
+        let w = q3(1.0, 53);
+        let mut d1 = device();
+        let fused = w.run(&mut d1, &WeaverConfig::default()).unwrap();
+        let mut d2 = device();
+        let base = w.run(&mut d2, &WeaverConfig::default().baseline()).unwrap();
+        assert_eq!(fused.outputs, base.outputs);
+        assert!(base.gpu_seconds > fused.gpu_seconds);
+        let out = fused.outputs.values().next().unwrap();
+        assert!(!out.is_empty());
+        assert_eq!(out.schema().arity(), 2);
+    }
+
+    #[test]
+    fn q3_matches_brute_force() {
+        use std::collections::BTreeMap;
+        let db = generate(1.0, 54);
+        let w = q3_plan(db.clone());
+        let mut d = device();
+        let r = w.run(&mut d, &WeaverConfig::default()).unwrap();
+        let got: BTreeMap<u64, f32> = r
+            .outputs
+            .values()
+            .next()
+            .unwrap()
+            .iter()
+            .map(|t| (t[0], f32::from_bits(t[1] as u32)))
+            .collect();
+
+        let building: std::collections::BTreeSet<u64> = db
+            .customer
+            .iter()
+            .filter(|t| t[c::MKTSEGMENT] == u64::from(SEGMENT_BUILDING))
+            .map(|t| t[c::CUSTKEY])
+            .collect();
+        let qualifying_orders: std::collections::BTreeSet<u64> = db
+            .orders
+            .iter()
+            .filter(|t| {
+                (t[o::ORDERDATE] as u32) < Q3_DATE && building.contains(&t[o::CUSTKEY])
+            })
+            .map(|t| t[o::ORDERKEY])
+            .collect();
+        let mut expected: BTreeMap<u64, f64> = BTreeMap::new();
+        for i in 0..db.lineitem.len() {
+            let t = db.lineitem.tuple(i);
+            if (t[l::SHIPDATE] as u32) > Q3_DATE && qualifying_orders.contains(&t[l::ORDERKEY]) {
+                let price = f32::from_bits(t[l::EXTENDEDPRICE] as u32);
+                let disc = f32::from_bits(t[l::DISCOUNT] as u32);
+                *expected.entry(t[l::ORDERKEY]).or_insert(0.0) +=
+                    f64::from(price) * f64::from(1.0 - disc);
+            }
+        }
+        assert_eq!(got.len(), expected.len());
+        for (k, v) in &got {
+            let e = expected[k];
+            assert!(
+                (f64::from(*v) - e).abs() / e.max(1.0) < 1e-3,
+                "order {k}: {v} vs {e}"
+            );
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The paper's micro-benchmark patterns (Figure 14).
+//!
+//! Five frequently occurring operator combinations mined from the 22 TPC-H
+//! queries:
+//!
+//! * **(a)** back-to-back SELECTs (+ PROJECT) — thread dependence only;
+//! * **(b)** a chain of JOINs — CTA dependence;
+//! * **(c)** JOINs of selected tables — mixed thread + CTA dependence;
+//! * **(d)** SELECTs sharing one input — input dependence;
+//! * **(e)** per-tuple arithmetic (`price * (1-discount) * (1+tax)`) —
+//!   thread dependence over f32 data.
+//!
+//! Tuples in (a)–(d) are 16 bytes (four u32 attributes), selects default to
+//! 50% selectivity over "randomly generated 32-bit integers", both as in
+//! the paper.
+
+use rand::Rng;
+
+use kw_primitives::RaOp;
+use kw_relational::{gen::rng, CmpOp, Expr, Predicate, Relation, Schema, Value};
+
+use crate::Workload;
+
+/// The five micro-benchmark patterns of Figure 14.
+///
+/// # Examples
+///
+/// ```
+/// use kw_tpch::Pattern;
+/// let workload = Pattern::C.build(1_000, 7);
+/// assert_eq!(workload.data.len(), 3); // three joined tables
+/// assert!(Pattern::C.description().contains("JOIN"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Back-to-back SELECTs + PROJECT (thread dependence).
+    A,
+    /// Back-to-back JOINs (CTA dependence).
+    B,
+    /// JOINs of selected tables (thread + CTA dependence).
+    C,
+    /// SELECTs over a shared input (input dependence).
+    D,
+    /// Arithmetic pipeline (thread dependence, f32).
+    E,
+}
+
+impl Pattern {
+    /// All five patterns in figure order.
+    pub fn all() -> [Pattern; 5] {
+        [Pattern::A, Pattern::B, Pattern::C, Pattern::D, Pattern::E]
+    }
+
+    /// The figure label, e.g. `"(a)"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::A => "(a)",
+            Pattern::B => "(b)",
+            Pattern::C => "(c)",
+            Pattern::D => "(d)",
+            Pattern::E => "(e)",
+        }
+    }
+
+    /// A short description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Pattern::A => "back-to-back SELECTs",
+            Pattern::B => "back-to-back JOINs",
+            Pattern::C => "JOINs of selected tables",
+            Pattern::D => "SELECTs sharing one input",
+            Pattern::E => "arithmetic pipeline",
+        }
+    }
+
+    /// Build the workload at `n` tuples per input relation.
+    pub fn build(self, n: usize, seed: u64) -> Workload {
+        match self {
+            Pattern::A => pattern_a(n, seed),
+            Pattern::B => pattern_b(n, seed),
+            Pattern::C => pattern_c(n, seed),
+            Pattern::D => pattern_d(n, seed),
+            Pattern::E => pattern_e(n, seed),
+        }
+    }
+}
+
+/// 50%-selectivity predicate over a uniform u32 attribute.
+fn half(attr: usize) -> Predicate {
+    Predicate::cmp(attr, CmpOp::Lt, Value::U32(u32::MAX / 2))
+}
+
+fn sel(attr: usize) -> RaOp {
+    RaOp::Select { pred: half(attr) }
+}
+
+/// Pattern (a): SELECT → SELECT → SELECT → PROJECT over one 16-byte-tuple
+/// relation.
+pub fn pattern_a(n: usize, seed: u64) -> Workload {
+    let input = kw_relational::gen::micro_input(n, seed);
+    let mut plan = kw_core::QueryPlan::new();
+    let t = plan.add_input("t", input.schema().clone());
+    let s1 = plan.add_op(sel(1), &[t]).expect("select 1");
+    let s2 = plan.add_op(sel(2), &[s1]).expect("select 2");
+    let s3 = plan.add_op(sel(3), &[s2]).expect("select 3");
+    let pr = plan
+        .add_op(
+            RaOp::Project {
+                attrs: vec![0, 1],
+                key_arity: 1,
+            },
+            &[s3],
+        )
+        .expect("project");
+    plan.mark_output(pr);
+    Workload::new("pattern (a)", plan, vec![("t".into(), input)])
+}
+
+/// A table of `n` tuples (4 x u32) whose keys follow `key(i)`.
+fn keyed_table(n: usize, seed: u64, key: impl Fn(usize) -> u64) -> Relation {
+    let mut r = rng(seed);
+    let schema = Schema::uniform_u32(4);
+    let mut words = Vec::with_capacity(n * 4);
+    for i in 0..n {
+        words.push(key(i));
+        for _ in 0..3 {
+            words.push(u64::from(r.gen::<u32>()));
+        }
+    }
+    Relation::from_words(schema, words).expect("keyed table")
+}
+
+/// The three join tables of patterns (b) and (c).
+///
+/// `x ⋈ y` "creates a large table" (the paper's description of pattern
+/// (b)): y's keys cover the lower half of x's key space with multiplicity
+/// two, so the intermediate has ~n wide tuples. z then joins selectively
+/// (~n/4 results), making the intermediate the dominant data-movement cost
+/// the fusion eliminates.
+fn join_tables(n: usize, seed: u64) -> (Relation, Relation, Relation) {
+    let x = keyed_table(n, seed, |i| (i as u64) * 2);
+    let y = keyed_table(n, seed + 1, |i| ((i % (n / 2).max(1)) as u64) * 2);
+    let z = keyed_table(n, seed + 2, |i| {
+        if i < n / 8 {
+            (i as u64) * 2
+        } else {
+            (i as u64) * 2 + 1
+        }
+    });
+    (x, y, z)
+}
+
+/// Pattern (b): (x ⋈ y) ⋈ z.
+pub fn pattern_b(n: usize, seed: u64) -> Workload {
+    let (x, y, z) = join_tables(n, seed);
+    let mut plan = kw_core::QueryPlan::new();
+    let nx = plan.add_input("x", x.schema().clone());
+    let ny = plan.add_input("y", y.schema().clone());
+    let nz = plan.add_input("z", z.schema().clone());
+    let j1 = plan.add_op(RaOp::Join { key_len: 1 }, &[nx, ny]).expect("join 1");
+    let j2 = plan.add_op(RaOp::Join { key_len: 1 }, &[j1, nz]).expect("join 2");
+    plan.mark_output(j2);
+    Workload::new(
+        "pattern (b)",
+        plan,
+        vec![("x".into(), x), ("y".into(), y), ("z".into(), z)],
+    )
+}
+
+/// Pattern (c): (σx ⋈ σy) ⋈ σz — three small selected tables joined.
+pub fn pattern_c(n: usize, seed: u64) -> Workload {
+    let (x, y, z) = join_tables(n, seed);
+    let mut plan = kw_core::QueryPlan::new();
+    let nx = plan.add_input("x", x.schema().clone());
+    let ny = plan.add_input("y", y.schema().clone());
+    let nz = plan.add_input("z", z.schema().clone());
+    let sx = plan.add_op(sel(1), &[nx]).expect("select x");
+    let sy = plan.add_op(sel(1), &[ny]).expect("select y");
+    let sz = plan.add_op(sel(1), &[nz]).expect("select z");
+    let j1 = plan.add_op(RaOp::Join { key_len: 1 }, &[sx, sy]).expect("join 1");
+    let j2 = plan.add_op(RaOp::Join { key_len: 1 }, &[j1, sz]).expect("join 2");
+    plan.mark_output(j2);
+    Workload::new(
+        "pattern (c)",
+        plan,
+        vec![("x".into(), x), ("y".into(), y), ("z".into(), z)],
+    )
+}
+
+/// Pattern (d): two SELECTs filtering the same input.
+pub fn pattern_d(n: usize, seed: u64) -> Workload {
+    let input = kw_relational::gen::micro_input(n, seed);
+    let mut plan = kw_core::QueryPlan::new();
+    let t = plan.add_input("t", input.schema().clone());
+    let s1 = plan.add_op(sel(1), &[t]).expect("select 1");
+    let s2 = plan.add_op(sel(2), &[t]).expect("select 2");
+    plan.mark_output(s1);
+    plan.mark_output(s2);
+    Workload::new("pattern (d)", plan, vec![("t".into(), input)])
+}
+
+/// Pattern (e): `price * (1 - discount) * (1 + tax)` as a chain of
+/// arithmetic MAPs over f32 data.
+pub fn pattern_e(n: usize, seed: u64) -> Workload {
+    let mut r = rng(seed);
+    let schema = Schema::new(
+        vec![
+            kw_relational::AttrType::U32,
+            kw_relational::AttrType::F32,
+            kw_relational::AttrType::F32,
+            kw_relational::AttrType::F32,
+        ],
+        1,
+    );
+    let mut words = Vec::with_capacity(n * 4);
+    for _ in 0..n {
+        words.push(u64::from(r.gen::<u32>()));
+        words.push(Value::F32(r.gen_range(1.0..100.0)).encode());
+        words.push(Value::F32(r.gen_range(0.0..0.1)).encode());
+        words.push(Value::F32(r.gen_range(0.0..0.08)).encode());
+    }
+    let input = Relation::from_words(schema.clone(), words).expect("pattern (e) input");
+
+    let mut plan = kw_core::QueryPlan::new();
+    let t = plan.add_input("t", schema);
+    // m1: (key, price, 1 - discount, tax)
+    let m1 = plan
+        .add_op(
+            RaOp::Map {
+                exprs: vec![
+                    Expr::attr(0),
+                    Expr::attr(1),
+                    Expr::lit(1.0f32).sub(Expr::attr(2)),
+                    Expr::attr(3),
+                ],
+                key_arity: 1,
+            },
+            &[t],
+        )
+        .expect("map 1");
+    // m2: (key, price * (1-discount), tax)
+    let m2 = plan
+        .add_op(
+            RaOp::Map {
+                exprs: vec![
+                    Expr::attr(0),
+                    Expr::attr(1).mul(Expr::attr(2)),
+                    Expr::attr(3),
+                ],
+                key_arity: 1,
+            },
+            &[m1],
+        )
+        .expect("map 2");
+    // m3: (key, discounted * (1 + tax))
+    let m3 = plan
+        .add_op(
+            RaOp::Map {
+                exprs: vec![
+                    Expr::attr(0),
+                    Expr::attr(1).mul(Expr::lit(1.0f32).add(Expr::attr(2))),
+                ],
+                key_arity: 1,
+            },
+            &[m2],
+        )
+        .expect("map 3");
+    plan.mark_output(m3);
+    Workload::new("pattern (e)", plan, vec![("t".into(), input)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kw_core::WeaverConfig;
+    use kw_gpu_sim::{Device, DeviceConfig};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::fermi_c2050())
+    }
+
+    #[test]
+    fn all_patterns_run_fused_and_baseline_identically() {
+        for p in Pattern::all() {
+            let w = p.build(2_000, 7);
+            let mut d1 = device();
+            let fused = w.run(&mut d1, &WeaverConfig::default()).unwrap();
+            let mut d2 = device();
+            let base = w.run(&mut d2, &WeaverConfig::default().baseline()).unwrap();
+            assert_eq!(
+                fused.outputs, base.outputs,
+                "{} fused/baseline mismatch",
+                p.label()
+            );
+        }
+    }
+
+    #[test]
+    fn selects_are_half_selective() {
+        let w = pattern_a(4_000, 1);
+        let mut d = device();
+        let r = w.run(&mut d, &WeaverConfig::default()).unwrap();
+        let out = r.outputs.values().next().unwrap();
+        let frac = out.len() as f64 / 4_000.0;
+        assert!((frac - 0.125).abs() < 0.03, "3 selects at 50%: {frac}");
+    }
+
+    #[test]
+    fn pattern_b_joins_have_expected_cardinality() {
+        let n = 4_000;
+        let w = pattern_b(n, 2);
+        let mut d = device();
+        let r = w.run(&mut d, &WeaverConfig::default()).unwrap();
+        let out = r.outputs.values().next().unwrap();
+        let frac = out.len() as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "expected n/4 join rows: {frac}");
+    }
+
+    #[test]
+    fn every_pattern_fuses_something() {
+        for p in Pattern::all() {
+            let w = p.build(1_000, 3);
+            let compiled = kw_core::compile(&w.plan, &WeaverConfig::default()).unwrap();
+            assert!(
+                !compiled.fusion_sets.is_empty(),
+                "{} produced no fusion",
+                p.label()
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_e_computes_revenue() {
+        let w = pattern_e(100, 5);
+        let mut d = device();
+        let r = w.run(&mut d, &WeaverConfig::default()).unwrap();
+        let out = r.outputs.values().next().unwrap();
+        assert_eq!(out.schema().arity(), 2);
+        assert_eq!(out.len(), 100);
+    }
+}

@@ -1,0 +1,148 @@
+//! Numeric schemas for the TPC-H tables used by the paper's evaluation.
+//!
+//! The experiments depend on cardinalities, key distributions and
+//! selectivities — not on dbgen's string columns — so every attribute is
+//! encoded numerically (dates as day numbers, flags as small integers).
+
+use kw_relational::{AttrType, Schema};
+
+/// Column indices of the `lineitem` table.
+pub mod lineitem {
+    /// Order key (the sort key).
+    pub const ORDERKEY: usize = 0;
+    /// Supplier key.
+    pub const SUPPKEY: usize = 1;
+    /// Quantity.
+    pub const QUANTITY: usize = 2;
+    /// Extended price.
+    pub const EXTENDEDPRICE: usize = 3;
+    /// Discount fraction.
+    pub const DISCOUNT: usize = 4;
+    /// Tax fraction.
+    pub const TAX: usize = 5;
+    /// Return flag (0..3).
+    pub const RETURNFLAG: usize = 6;
+    /// Line status (0..2).
+    pub const LINESTATUS: usize = 7;
+    /// Ship date (day number).
+    pub const SHIPDATE: usize = 8;
+    /// Commit date (day number).
+    pub const COMMITDATE: usize = 9;
+    /// Receipt date (day number).
+    pub const RECEIPTDATE: usize = 10;
+}
+
+/// Schema of `lineitem`: keyed by order key.
+pub fn lineitem_schema() -> Schema {
+    Schema::new(
+        vec![
+            AttrType::U32, // orderkey
+            AttrType::U32, // suppkey
+            AttrType::F32, // quantity
+            AttrType::F32, // extendedprice
+            AttrType::F32, // discount
+            AttrType::F32, // tax
+            AttrType::U32, // returnflag
+            AttrType::U32, // linestatus
+            AttrType::U32, // shipdate
+            AttrType::U32, // commitdate
+            AttrType::U32, // receiptdate
+        ],
+        1,
+    )
+}
+
+/// Column indices of the `orders` table.
+pub mod orders {
+    /// Order key.
+    pub const ORDERKEY: usize = 0;
+    /// Order status (0 = F, 1 = O, 2 = P).
+    pub const ORDERSTATUS: usize = 1;
+    /// Customer key.
+    pub const CUSTKEY: usize = 2;
+    /// Order date (day number).
+    pub const ORDERDATE: usize = 3;
+}
+
+/// Schema of `orders`: keyed by order key.
+pub fn orders_schema() -> Schema {
+    Schema::new(
+        vec![AttrType::U32, AttrType::U32, AttrType::U32, AttrType::U32],
+        1,
+    )
+}
+
+/// Column indices of the `customer` table.
+pub mod customer {
+    /// Customer key.
+    pub const CUSTKEY: usize = 0;
+    /// Market segment (0..5; 0 = BUILDING).
+    pub const MKTSEGMENT: usize = 1;
+    /// Nation key.
+    pub const NATIONKEY: usize = 2;
+}
+
+/// Schema of `customer`: keyed by customer key.
+pub fn customer_schema() -> Schema {
+    Schema::new(vec![AttrType::U32, AttrType::U32, AttrType::U32], 1)
+}
+
+/// Number of market segments (as in TPC-H).
+pub const SEGMENT_COUNT: u32 = 5;
+/// The segment Q3 filters on ('BUILDING').
+pub const SEGMENT_BUILDING: u32 = 0;
+
+/// Column indices of the `supplier` table.
+pub mod supplier {
+    /// Supplier key.
+    pub const SUPPKEY: usize = 0;
+    /// Nation key.
+    pub const NATIONKEY: usize = 1;
+}
+
+/// Schema of `supplier`: keyed by supplier key.
+pub fn supplier_schema() -> Schema {
+    Schema::new(vec![AttrType::U32, AttrType::U32], 1)
+}
+
+/// Column indices of the `nation` table.
+pub mod nation {
+    /// Nation key.
+    pub const NATIONKEY: usize = 0;
+    /// Region key.
+    pub const REGIONKEY: usize = 1;
+}
+
+/// Schema of `nation`: keyed by nation key.
+pub fn nation_schema() -> Schema {
+    Schema::new(vec![AttrType::U32, AttrType::U32], 1)
+}
+
+/// Number of nations (as in TPC-H).
+pub const NATION_COUNT: u32 = 25;
+
+/// TPC-H orderstatus value for 'F' (all lineitems delivered).
+pub const STATUS_F: u32 = 0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shapes() {
+        assert_eq!(lineitem_schema().arity(), 11);
+        assert_eq!(lineitem_schema().key_arity(), 1);
+        assert_eq!(orders_schema().arity(), 4);
+        assert_eq!(supplier_schema().arity(), 2);
+        assert_eq!(nation_schema().arity(), 2);
+        assert_eq!(customer_schema().arity(), 3);
+    }
+
+    #[test]
+    fn indices_match_schema_types() {
+        let s = lineitem_schema();
+        assert_eq!(s.attr(lineitem::QUANTITY), AttrType::F32);
+        assert_eq!(s.attr(lineitem::SHIPDATE), AttrType::U32);
+        assert_eq!(s.attr(lineitem::RETURNFLAG), AttrType::U32);
+    }
+}

@@ -1,0 +1,11 @@
+//! Support crate for the Kernel Weaver examples.
+//!
+//! The runnable examples live alongside this manifest:
+//!
+//! ```bash
+//! cargo run -p kw-examples --example quickstart
+//! cargo run -p kw-examples --example datalog_query
+//! cargo run -p kw-examples --example tpch_q1
+//! cargo run -p kw-examples --example fusion_inspector
+//! cargo run -p kw-examples --example large_inputs
+//! ```

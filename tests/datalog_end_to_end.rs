@@ -1,0 +1,226 @@
+//! Datalog-to-GPU integration: programs compile through the front-end, the
+//! weaver fuses them, the simulator executes them, and results match the
+//! CPU reference pipeline.
+
+use kw_core::{execute_plan, WeaverConfig};
+use kw_datalog::compile_datalog;
+use kw_gpu_sim::{Device, DeviceConfig};
+use kw_relational::{gen, ops, CmpOp, Predicate, Relation, Schema, Value};
+
+fn device() -> Device {
+    Device::new(DeviceConfig::fermi_c2050())
+}
+
+fn run(src: &str, bindings: &[(&str, &Relation)], fusion: bool) -> Relation {
+    let t = compile_datalog(src).expect("compile");
+    let config = if fusion {
+        WeaverConfig::default()
+    } else {
+        WeaverConfig::default().baseline()
+    };
+    let mut dev = device();
+    let report = execute_plan(&t.plan, bindings, &mut dev, &config).expect("execute");
+    let (_, node) = t.outputs[0];
+    report.outputs[&node].clone()
+}
+
+#[test]
+fn filter_chain_program() {
+    let input = gen::micro_input(4_000, 31);
+    let src = "
+        .input t(*u32, u32, u32, u32).
+        r(K, B) :- t(K, A, B, _), A < 2000000000, B >= 1000.
+        .output r.
+    ";
+    let fused = run(src, &[("t", &input)], true);
+    let base = run(src, &[("t", &input)], false);
+    assert_eq!(fused, base);
+
+    let oracle = ops::project(
+        &ops::select(
+            &input,
+            &Predicate::cmp(1, CmpOp::Lt, Value::U32(2000000000))
+                .and(Predicate::cmp(2, CmpOp::Ge, Value::U32(1000))),
+        )
+        .unwrap(),
+        &[0, 2],
+        1,
+    )
+    .unwrap();
+    assert_eq!(fused, oracle);
+}
+
+#[test]
+fn triangle_join_program() {
+    // Three-way join on a shared key.
+    let (a, b) = gen::join_inputs(1_500, 2, 0.6, 41);
+    let (c, _) = gen::join_inputs(1_500, 2, 0.6, 41); // same keys as a
+    let src = "
+        .input a(*u32, u32).
+        .input b(*u32, u32).
+        .input c(*u32, u32).
+        tri(K, X, Y, Z) :- a(K, X), b(K, Y), c(K, Z).
+        .output tri.
+    ";
+    let fused = run(src, &[("a", &a), ("b", &b), ("c", &c)], true);
+    let base = run(src, &[("a", &a), ("b", &b), ("c", &c)], false);
+    assert_eq!(fused, base);
+
+    let oracle = {
+        let ab = ops::join(&a, &b, 1).unwrap();
+        let abc = ops::join(&ab, &c, 1).unwrap();
+        ops::project(&abc, &[0, 1, 2, 3], 1).unwrap()
+    };
+    assert_eq!(fused, oracle);
+}
+
+#[test]
+fn arithmetic_program_matches_manual_expression() {
+    let src = "
+        .input l(*u32, f32, f32, f32).
+        rev(K, P * (1.0 - D) * (1.0 + T)) :- l(K, P, D, T).
+        .output rev.
+    ";
+    // Build a small float table.
+    let schema = Schema::new(
+        vec![
+            kw_relational::AttrType::U32,
+            kw_relational::AttrType::F32,
+            kw_relational::AttrType::F32,
+            kw_relational::AttrType::F32,
+        ],
+        1,
+    );
+    let rows: Vec<Vec<Value>> = (0..500)
+        .map(|i| {
+            vec![
+                Value::U32(i),
+                Value::F32(10.0 + i as f32),
+                Value::F32(0.05),
+                Value::F32(0.08),
+            ]
+        })
+        .collect();
+    let l = Relation::from_rows(schema, &rows).unwrap();
+
+    let fused = run(src, &[("l", &l)], true);
+    assert_eq!(fused.len(), 500);
+    // Spot-check the arithmetic.
+    let v = fused.value(0, 1);
+    match v {
+        Value::F32(x) => assert!((x - 10.0 * 0.95 * 1.08).abs() < 1e-3, "{x}"),
+        other => panic!("expected f32, got {other:?}"),
+    }
+}
+
+#[test]
+fn recursive_style_union_program() {
+    // Two rules with one head: results union.
+    let input = gen::micro_input(2_000, 43);
+    let src = "
+        .input t(*u32, u32, u32, u32).
+        r(K) :- t(K, A, _, _), A < 1000000.
+        r(K) :- t(K, _, B, _), B >= 4294000000.
+        .output r.
+    ";
+    let fused = run(src, &[("t", &input)], true);
+    let base = run(src, &[("t", &input)], false);
+    assert_eq!(fused, base);
+
+    let left = ops::project(
+        &ops::select(&input, &Predicate::cmp(1, CmpOp::Lt, Value::U32(1000000))).unwrap(),
+        &[0],
+        1,
+    )
+    .unwrap();
+    let right = ops::project(
+        &ops::select(&input, &Predicate::cmp(2, CmpOp::Ge, Value::U32(4294000000))).unwrap(),
+        &[0],
+        1,
+    )
+    .unwrap();
+    let oracle = ops::union(&left, &right).unwrap();
+    assert_eq!(fused, oracle);
+}
+
+#[test]
+fn two_shared_variables_join_on_composite_key() {
+    // Both atoms share (K1, K2) as their leading keys: the translator must
+    // emit a key_len=2 join with no SORT.
+    let schema = Schema::new(
+        vec![
+            kw_relational::AttrType::U32,
+            kw_relational::AttrType::U32,
+            kw_relational::AttrType::U32,
+        ],
+        2,
+    );
+    let mut r = gen::rng(97);
+    use rand::Rng;
+    let mk = |r: &mut rand::rngs::StdRng| {
+        let words: Vec<u64> = (0..1200)
+            .flat_map(|_| {
+                vec![
+                    u64::from(r.gen_range(0..20u32)),
+                    u64::from(r.gen_range(0..4u32)),
+                    u64::from(r.gen::<u32>()),
+                ]
+            })
+            .collect();
+        Relation::from_words(schema.clone(), words).unwrap()
+    };
+    let a = mk(&mut r);
+    let b = mk(&mut r);
+    let src = "
+        .input a(*u32, *u32, u32).
+        .input b(*u32, *u32, u32).
+        j(K1, K2, X, Y) :- a(K1, K2, X), b(K1, K2, Y).
+        .output j.
+    ";
+    let translated = compile_datalog(src).unwrap();
+    let sorts = translated
+        .plan
+        .operator_nodes()
+        .filter(|(_, op, _)| matches!(op, kw_primitives::RaOp::Sort { .. }))
+        .count();
+    assert_eq!(sorts, 0, "composite keys already lead:\n{}", translated.plan.describe());
+
+    let fused = run(src, &[("a", &a), ("b", &b)], true);
+    let base = run(src, &[("a", &a), ("b", &b)], false);
+    assert_eq!(fused, base);
+    // The Datalog head projection claims a single-attribute key.
+    let oracle = ops::project(&ops::join(&a, &b, 2).unwrap(), &[0, 1, 2, 3], 1).unwrap();
+    assert_eq!(fused, oracle);
+}
+
+#[test]
+fn non_key_join_inserts_sort_and_still_matches() {
+    // Join on the second attribute forces a SORT re-key in the plan.
+    let a = gen::random_relation(
+        &Schema::uniform_u32(2),
+        800,
+        64,
+        &mut gen::rng(47),
+    );
+    let b = gen::random_relation(
+        &Schema::uniform_u32(2),
+        800,
+        64,
+        &mut gen::rng(48),
+    );
+    let src = "
+        .input a(*u32, u32).
+        .input b(*u32, u32).
+        j(V, K1, K2) :- a(K1, V), b(K2, V).
+        .output j.
+    ";
+    let fused = run(src, &[("a", &a), ("b", &b)], true);
+    let base = run(src, &[("a", &a), ("b", &b)], false);
+    assert_eq!(fused, base);
+    // Oracle: sort both sides on attr 1, join, project.
+    let sa = ops::sort_on(&a, &[1]).unwrap();
+    let sb = ops::sort_on(&b, &[1]).unwrap();
+    let j = ops::join(&sa, &sb, 1).unwrap();
+    let oracle = ops::project(&j, &[0, 1, 2], 1).unwrap();
+    assert_eq!(fused, oracle);
+}

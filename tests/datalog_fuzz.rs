@@ -1,0 +1,80 @@
+//! Robustness fuzzing of the Datalog front-end: arbitrary input must never
+//! panic — it either parses or returns a typed error with a line number —
+//! and valid programs round-trip deterministically.
+
+use proptest::prelude::*;
+
+use kw_datalog::{compile_datalog, lex, parse};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer and parser never panic on arbitrary ASCII soup.
+    #[test]
+    fn parser_never_panics_on_ascii(src in "[ -~\n]{0,200}") {
+        let _ = lex(&src);
+        let _ = parse(&src);
+        let _ = compile_datalog(&src);
+    }
+
+    /// Never panics on strings built from the language's own token alphabet
+    /// (more likely to reach deep parser states than raw ASCII).
+    #[test]
+    fn parser_never_panics_on_tokeny_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just(".input".to_string()),
+                Just(".output".to_string()),
+                Just("r".to_string()),
+                Just("t".to_string()),
+                Just("K".to_string()),
+                Just("V".to_string()),
+                Just("u32".to_string()),
+                Just("f32".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just(".".to_string()),
+                Just(":-".to_string()),
+                Just("!".to_string()),
+                Just("*".to_string()),
+                Just("_".to_string()),
+                Just("<".to_string()),
+                Just(">=".to_string()),
+                Just("1.5".to_string()),
+                Just("42".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = parts.join(" ");
+        let _ = compile_datalog(&src);
+    }
+
+    /// Well-formed generated programs always compile, and compilation is
+    /// deterministic.
+    #[test]
+    fn generated_programs_compile(
+        n_attrs in 1usize..5,
+        n_selects in 0usize..4,
+        threshold in any::<u32>(),
+    ) {
+        let attrs = (0..n_attrs)
+            .map(|i| if i == 0 { "*u32".to_string() } else { "u32".to_string() })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let vars: Vec<String> = (0..n_attrs).map(|i| format!("V{i}")).collect();
+        let head_vars = vars.join(", ");
+        let mut body = format!("t({head_vars})");
+        for s in 0..n_selects {
+            body.push_str(&format!(", V{} < {threshold}", s % n_attrs));
+        }
+        let src = format!(
+            ".input t({attrs}).\nr({head_vars}) :- {body}.\n.output r.\n"
+        );
+        let a = compile_datalog(&src);
+        prop_assert!(a.is_ok(), "{src}: {:?}", a.err().map(|e| e.to_string()));
+        let b = compile_datalog(&src).unwrap();
+        prop_assert_eq!(a.unwrap().plan, b.plan, "deterministic compilation");
+    }
+}

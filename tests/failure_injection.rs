@@ -1,0 +1,187 @@
+//! Failure injection: capacity exhaustion, infeasible launches, malformed
+//! bindings and hostile plans must surface as typed errors — never panics,
+//! never wrong answers.
+
+use kw_core::{execute_plan, QueryPlan, ResourceBudget, WeaverConfig};
+use kw_gpu_sim::{Device, DeviceConfig, SimError};
+use kw_primitives::RaOp;
+use kw_relational::{gen, CmpOp, Predicate, Schema, Value};
+
+fn select_plan(schema: Schema) -> QueryPlan {
+    let mut plan = QueryPlan::new();
+    let t = plan.add_input("t", schema);
+    let s = plan
+        .add_op(
+            RaOp::Select {
+                pred: Predicate::cmp(0, CmpOp::Lt, Value::U32(u32::MAX / 2)),
+            },
+            &[t],
+        )
+        .unwrap();
+    plan.mark_output(s);
+    plan
+}
+
+#[test]
+fn device_out_of_memory_is_reported() {
+    // 1 MiB device; 64k tuples * 16 B = 1 MiB of input alone cannot fit
+    // input + output.
+    let input = gen::micro_input(65_536, 1);
+    let plan = select_plan(input.schema().clone());
+    let mut dev = Device::new(DeviceConfig::tiny());
+    let err = execute_plan(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("out of memory"), "{msg}");
+}
+
+#[test]
+fn small_data_fits_tiny_device() {
+    let input = gen::micro_input(1_000, 2);
+    let plan = select_plan(input.schema().clone());
+    let mut dev = Device::new(DeviceConfig::tiny());
+    let report =
+        execute_plan(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default()).unwrap();
+    assert_eq!(report.outputs.len(), 1);
+    // Everything freed at the end.
+    assert_eq!(dev.memory().in_use(), 0);
+}
+
+#[test]
+fn infeasible_launch_surfaces_from_raw_device() {
+    let mut dev = Device::new(DeviceConfig::fermi_c2050());
+    let err = dev
+        .launch(
+            "monster",
+            kw_gpu_sim::LaunchDims::new(1, 256),
+            kw_gpu_sim::KernelResources {
+                registers_per_thread: 64,
+                shared_per_cta: 0,
+            },
+            &kw_gpu_sim::KernelQuantities::default(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, SimError::InfeasibleLaunch { .. }));
+}
+
+#[test]
+fn zero_budget_still_executes_unfused() {
+    // A budget nothing fits simply disables fusion; execution proceeds.
+    let input = gen::micro_input(2_000, 3);
+    let mut plan = QueryPlan::new();
+    let t = plan.add_input("t", input.schema().clone());
+    let a = plan
+        .add_op(
+            RaOp::Select {
+                pred: Predicate::cmp(1, CmpOp::Lt, Value::U32(9)),
+            },
+            &[t],
+        )
+        .unwrap();
+    let b = plan
+        .add_op(
+            RaOp::Select {
+                pred: Predicate::cmp(2, CmpOp::Lt, Value::U32(9)),
+            },
+            &[a],
+        )
+        .unwrap();
+    plan.mark_output(b);
+    let config = WeaverConfig {
+        budget: ResourceBudget {
+            max_registers_per_thread: 1,
+            max_shared_per_cta: 0,
+        },
+        ..WeaverConfig::default()
+    };
+    let mut dev = Device::new(DeviceConfig::fermi_c2050());
+    let report = execute_plan(&plan, &[("t", &input)], &mut dev, &config).unwrap();
+    assert!(report.fusion_sets.is_empty());
+    assert_eq!(report.operator_count, 2);
+}
+
+#[test]
+fn duplicate_binding_names_use_first() {
+    let input = gen::micro_input(100, 4);
+    let other = gen::micro_input(100, 5);
+    let plan = select_plan(input.schema().clone());
+    let mut dev = Device::new(DeviceConfig::fermi_c2050());
+    // First binding wins; execution succeeds deterministically.
+    let r1 = execute_plan(
+        &plan,
+        &[("t", &input), ("t", &other)],
+        &mut dev,
+        &WeaverConfig::default(),
+    )
+    .unwrap();
+    let mut dev2 = Device::new(DeviceConfig::fermi_c2050());
+    let r2 = execute_plan(&plan, &[("t", &input)], &mut dev2, &WeaverConfig::default()).unwrap();
+    assert_eq!(r1.outputs, r2.outputs);
+}
+
+#[test]
+fn empty_relations_flow_through_everything() {
+    let schema = Schema::uniform_u32(4);
+    let empty = kw_relational::Relation::empty(schema.clone());
+    let pattern_plan = select_plan(schema.clone());
+    let mut dev = Device::new(DeviceConfig::fermi_c2050());
+    let report = execute_plan(
+        &pattern_plan,
+        &[("t", &empty)],
+        &mut dev,
+        &WeaverConfig::default(),
+    )
+    .unwrap();
+    assert!(report.outputs.values().all(|r| r.is_empty()));
+    // Joins of empty relations.
+    let mut plan = QueryPlan::new();
+    let x = plan.add_input("x", schema.clone());
+    let y = plan.add_input("y", schema.clone());
+    let j = plan.add_op(RaOp::Join { key_len: 1 }, &[x, y]).unwrap();
+    plan.mark_output(j);
+    let mut dev = Device::new(DeviceConfig::fermi_c2050());
+    let report = execute_plan(
+        &plan,
+        &[("x", &empty), ("y", &empty)],
+        &mut dev,
+        &WeaverConfig::default(),
+    )
+    .unwrap();
+    assert!(report.outputs[&j].is_empty());
+}
+
+#[test]
+fn self_join_is_handled() {
+    let input = gen::micro_input(1_000, 6);
+    let mut plan = QueryPlan::new();
+    let t = plan.add_input("t", input.schema().clone());
+    let j = plan.add_op(RaOp::Join { key_len: 1 }, &[t, t]).unwrap();
+    plan.mark_output(j);
+    for fusion in [true, false] {
+        let config = WeaverConfig {
+            fusion,
+            ..WeaverConfig::default()
+        };
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        let report = execute_plan(&plan, &[("t", &input)], &mut dev, &config).unwrap();
+        let oracle = kw_relational::ops::join(&input, &input, 1).unwrap();
+        assert_eq!(report.outputs[&j], oracle, "fusion={fusion}");
+    }
+}
+
+#[test]
+fn all_weaver_errors_display_nonempty() {
+    use kw_core::WeaverError;
+    let errors: Vec<WeaverError> = vec![
+        WeaverError::plan("broken"),
+        WeaverError::binding("missing"),
+        kw_relational::RelationalError::NotSorted { index: 1 }.into(),
+        kw_gpu_sim::SimError::InvalidBuffer { id: 1 }.into(),
+        kw_kernel_ir::IrError::validation("bad").into(),
+        kw_primitives::IrBuildError::new("nope").into(),
+    ];
+    for e in errors {
+        assert!(!e.to_string().is_empty());
+        let _ = format!("{e:?}");
+    }
+}
