@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints (warnings are errors), full test suite.
+# Everything runs offline against the vendored third_party/ crates.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q"
+cargo test --workspace -q
+
+echo "CI OK"

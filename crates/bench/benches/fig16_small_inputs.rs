@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fused", p.label()), &w, |b, w| {
             b.iter(|| {
                 let mut dev = device();
-                w.run(&mut dev, &WeaverConfig::default()).unwrap().gpu_seconds
+                w.run(&mut dev, &WeaverConfig::default())
+                    .unwrap()
+                    .gpu_seconds
             })
         });
         group.bench_with_input(BenchmarkId::new("baseline", p.label()), &w, |b, w| {

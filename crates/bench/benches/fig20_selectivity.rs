@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fused", s), &w, |b, w| {
             b.iter(|| {
                 let mut dev = device();
-                w.run(&mut dev, &WeaverConfig::default()).unwrap().gpu_seconds
+                w.run(&mut dev, &WeaverConfig::default())
+                    .unwrap()
+                    .gpu_seconds
             })
         });
         group.bench_with_input(BenchmarkId::new("baseline", s), &w, |b, w| {

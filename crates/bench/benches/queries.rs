@@ -7,11 +7,16 @@ use kw_core::WeaverConfig;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("tpch");
     group.sample_size(10);
-    for (name, w) in [("q1", kw_tpch::q1(2.0, SEED)), ("q21", kw_tpch::q21(2.0, SEED))] {
+    for (name, w) in [
+        ("q1", kw_tpch::q1(2.0, SEED)),
+        ("q21", kw_tpch::q21(2.0, SEED)),
+    ] {
         group.bench_with_input(BenchmarkId::new("fused", name), &w, |b, w| {
             b.iter(|| {
                 let mut dev = device();
-                w.run(&mut dev, &WeaverConfig::default()).unwrap().gpu_seconds
+                w.run(&mut dev, &WeaverConfig::default())
+                    .unwrap()
+                    .gpu_seconds
             })
         });
         group.bench_with_input(BenchmarkId::new("baseline", name), &w, |b, w| {

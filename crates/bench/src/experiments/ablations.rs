@@ -98,12 +98,8 @@ pub fn optimizer_pass_stats() -> Vec<(Pattern, kw_kernel_ir::PassStats)> {
                 kw_kernel_ir::DEFAULT_THREADS_PER_CTA,
             )
             .expect("selection");
-            let woven = kw_core::weave(
-                &w.plan,
-                &sets[0],
-                kw_kernel_ir::DEFAULT_THREADS_PER_CTA,
-            )
-            .expect("weave");
+            let woven = kw_core::weave(&w.plan, &sets[0], kw_kernel_ir::DEFAULT_THREADS_PER_CTA)
+                .expect("weave");
             let (_, stats) =
                 kw_kernel_ir::optimize(&woven.op, kw_kernel_ir::OptLevel::O3).expect("optimize");
             (pattern, stats)

@@ -9,7 +9,7 @@ use kw_primitives::RaOp;
 use kw_relational::{CmpOp, Predicate, Value};
 use kw_tpch::Workload;
 
-use super::{run_pair, resident, SEED};
+use super::{resident, run_pair, SEED};
 
 /// One row of the Figure 4 series.
 #[derive(Debug, Clone, Copy)]
@@ -39,7 +39,11 @@ pub fn select_chain(n: usize, depth: usize, seed: u64) -> Workload {
             .expect("chain select");
     }
     plan.mark_output(prev);
-    Workload::new(format!("select-chain x{depth}"), plan, vec![("t".into(), input)])
+    Workload::new(
+        format!("select-chain x{depth}"),
+        plan,
+        vec![("t".into(), input)],
+    )
 }
 
 /// Run the Figure 4 sweep.

@@ -55,10 +55,7 @@ mod tests {
     fn optimization_helps_fused_kernels_more() {
         let rows = run();
         for r in &rows {
-            assert!(
-                r.unfused_o3_speedup >= 1.0,
-                "O3 should never hurt: {r:?}"
-            );
+            assert!(r.unfused_o3_speedup >= 1.0, "O3 should never hurt: {r:?}");
             assert!(
                 r.fused_o3_speedup > r.unfused_o3_speedup,
                 "{} fusion should enlarge optimization scope: {r:?}",

@@ -16,6 +16,7 @@ pub mod fig20;
 pub mod fig21;
 pub mod platforms;
 pub mod queries;
+pub mod robustness;
 pub mod table2;
 pub mod table3;
 

@@ -90,7 +90,9 @@ pub fn rescheduling_gain() -> (f64, f64) {
     let workload = Workload::new("reschedule-study", plan, vec![("t".into(), input)]);
 
     let mut d1 = super::device();
-    let plain = workload.run(&mut d1, &WeaverConfig::default()).expect("plain");
+    let plain = workload
+        .run(&mut d1, &WeaverConfig::default())
+        .expect("plain");
 
     let r = reschedule(&workload.plan).expect("reschedule");
     let rescheduled_workload = Workload::new("rescheduled", r.plan, workload.data.clone());
@@ -117,9 +119,13 @@ pub fn cpu_comparison(pattern: Pattern) -> (f64, f64) {
     let resident = WeaverConfig::default();
 
     let mut cdev = Device::new(DeviceConfig::cpu_like());
-    let cpu = w.run(&mut cdev, &resident.baseline()).expect("cpu baseline");
+    let cpu = w
+        .run(&mut cdev, &resident.baseline())
+        .expect("cpu baseline");
     let mut gdev = Device::new(DeviceConfig::fermi_c2050());
-    let gpu_base = w.run(&mut gdev, &resident.baseline()).expect("gpu baseline");
+    let gpu_base = w
+        .run(&mut gdev, &resident.baseline())
+        .expect("gpu baseline");
     let mut fdev = Device::new(DeviceConfig::fermi_c2050());
     let gpu_fused = w.run(&mut fdev, &resident).expect("gpu fused");
 
@@ -144,8 +150,7 @@ pub fn overlap_study() -> (f64, f64) {
             ..WeaverConfig::default()
         };
         let mut dev = super::device();
-        kw_core::execute_chunked(&w.plan, &w.bindings(), &mut dev, &config, 8)
-            .expect("chunked run")
+        kw_core::execute_chunked(&w.plan, &w.bindings(), &mut dev, &config, 8).expect("chunked run")
     };
     let fused = run(true);
     let base = run(false);

@@ -71,7 +71,11 @@ pub fn individual_operators() -> Vec<Table3Row> {
             },
             vec![s4.clone()],
         ),
-        ("JOIN", RaOp::Join { key_len: 1 }, vec![s4.clone(), s4.clone()]),
+        (
+            "JOIN",
+            RaOp::Join { key_len: 1 },
+            vec![s4.clone(), s4.clone()],
+        ),
         ("PRODUCT", RaOp::Product, vec![s4.clone(), s4.clone()]),
         ("UNION", RaOp::Union, vec![s4.clone(), s4.clone()]),
         ("INTERSECT", RaOp::Intersect, vec![s4.clone(), s4.clone()]),

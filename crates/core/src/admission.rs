@@ -1,0 +1,407 @@
+//! Admission control: predict peak device memory per execution mode and
+//! choose the cheapest mode that fits *before* running anything.
+//!
+//! The paper's §2.3 benefit #4 is that fusion "admits larger resident
+//! inputs": fused steps never materialize the intermediates inside a fusion
+//! set, so the predicted resident peak of a fused plan is smaller and a
+//! larger input still fits [`AdmittedMode::Resident`]. When Resident does
+//! not fit, the ladder continues downward: [`AdmittedMode::Staged`] (free
+//! operator results after every step, the Fig. 21 setup) and, for
+//! elementwise plans, [`AdmittedMode::Chunked`] row-streaming.
+//!
+//! Predictions walk the compiled plan's buffer liveness exactly as the
+//! executor allocates — same refcounts, same gather-scratch, same
+//! release points — over *estimated* relation sizes (row-count upper
+//! estimates per operator; inputs use their actual bound sizes). Estimates
+//! can be wrong in either direction; mid-run OOM is handled by the
+//! resilient driver's re-admission, not here.
+
+use std::collections::BTreeMap;
+
+use kw_primitives::RaOp;
+use kw_relational::Relation;
+
+use crate::{
+    is_elementwise, CompiledPlan, ExecMode, NodeId, PlanNode, QueryPlan, Result, WeaverError,
+};
+
+/// Hard ceiling on the chunk count the ladder will try.
+pub const MAX_CHUNKS: usize = 1024;
+
+/// An execution mode the admission controller can choose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmittedMode {
+    /// Everything stays on the device (fastest; largest footprint).
+    Resident,
+    /// Operator results round-trip to the host after every step.
+    Staged,
+    /// Row-chunked streaming with double buffering (elementwise plans only).
+    Chunked {
+        /// Number of row chunks the inputs are split into.
+        chunks: usize,
+    },
+}
+
+impl std::fmt::Display for AdmittedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmittedMode::Resident => write!(f, "resident"),
+            AdmittedMode::Staged => write!(f, "staged"),
+            AdmittedMode::Chunked { chunks } => write!(f, "chunked({chunks})"),
+        }
+    }
+}
+
+/// The admission controller's pre-flight verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionReport {
+    /// Device bytes available when admission ran.
+    pub capacity: u64,
+    /// Predicted peak device bytes in resident mode.
+    pub resident_peak: u64,
+    /// Predicted peak device bytes in staged mode.
+    pub staged_peak: u64,
+    /// For elementwise plans: the smallest power-of-two chunk count whose
+    /// predicted per-chunk peak fits, with that peak.
+    pub chunked: Option<(usize, u64)>,
+    /// Whether the plan is elementwise (eligible for chunked streaming).
+    pub elementwise: bool,
+    /// The cheapest mode predicted to fit.
+    pub chosen: AdmittedMode,
+}
+
+/// Estimate output rows of one operator from its input row estimates.
+///
+/// Streaming/reordering operators are row-preserving upper bounds; joins use
+/// the larger side (a heuristic, not a bound — the degradation ladder covers
+/// underestimates); products multiply.
+fn estimate_op_rows(op: &RaOp, ins: &[u64]) -> u64 {
+    match op {
+        RaOp::Select { .. }
+        | RaOp::Project { .. }
+        | RaOp::Map { .. }
+        | RaOp::Unique
+        | RaOp::Sort { .. }
+        | RaOp::Aggregate { .. } => ins[0],
+        RaOp::Join { .. } => ins[0].max(ins[1]),
+        RaOp::Product => ins[0].saturating_mul(ins[1]),
+        RaOp::SemiJoin { .. } | RaOp::AntiJoin { .. } | RaOp::Difference => ins[0],
+        RaOp::Union => ins[0].saturating_add(ins[1]),
+        RaOp::Intersect => ins[0].min(ins[1]),
+    }
+}
+
+/// Estimated row count per plan node: actual sizes for bound inputs,
+/// [`estimate_op_rows`] propagated topologically for operators.
+fn estimated_rows(
+    plan: &QueryPlan,
+    bindings: &[(&str, &Relation)],
+) -> Result<BTreeMap<NodeId, u64>> {
+    let mut rows = BTreeMap::new();
+    for id in plan.node_ids() {
+        let n = match plan.node(id) {
+            PlanNode::Input { name, .. } => bindings
+                .iter()
+                .find(|(b, _)| b == name)
+                .map(|(_, r)| r.len() as u64)
+                .ok_or_else(|| WeaverError::binding(format!("no relation bound to '{name}'")))?,
+            PlanNode::Operator { op, inputs } => {
+                let ins: Vec<u64> = inputs.iter().map(|i| rows[i]).collect();
+                estimate_op_rows(op, &ins)
+            }
+        };
+        rows.insert(id, n);
+    }
+    Ok(rows)
+}
+
+/// Estimated buffer bytes per node, with every row count divided (rounding
+/// up) by `chunks`.
+fn node_bytes(
+    plan: &QueryPlan,
+    rows: &BTreeMap<NodeId, u64>,
+    chunks: u64,
+) -> BTreeMap<NodeId, u64> {
+    rows.iter()
+        .map(|(&id, &n)| {
+            (
+                id,
+                n.div_ceil(chunks) * plan.schema(id).tuple_bytes() as u64,
+            )
+        })
+        .collect()
+}
+
+/// Predicted peak device bytes: a dry run of the executor's allocation
+/// sequence (upload inputs once; per step alloc gather scratch + outputs,
+/// free scratch, release dead inputs; staged mode additionally re-stages
+/// consumed intermediates and frees outputs after download).
+fn predict_peak(
+    plan: &QueryPlan,
+    compiled: &CompiledPlan,
+    bytes: &BTreeMap<NodeId, u64>,
+    mode: ExecMode,
+) -> u64 {
+    let mut refcount: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for step in &compiled.steps {
+        let mut seen = Vec::new();
+        for &i in &step.inputs {
+            if !seen.contains(&i) {
+                seen.push(i);
+                *refcount.entry(i).or_insert(0) += 1;
+            }
+        }
+    }
+    for &o in plan.outputs() {
+        *refcount.entry(o).or_insert(0) += 1;
+    }
+
+    let mut in_use: u64 = 0;
+    let mut peak: u64 = 0;
+    let mut held: BTreeMap<NodeId, u64> = BTreeMap::new();
+    let charge = |in_use: &mut u64, peak: &mut u64, b: u64| {
+        *in_use += b;
+        *peak = (*peak).max(*in_use);
+    };
+
+    for id in plan.node_ids() {
+        if matches!(plan.node(id), PlanNode::Input { .. })
+            && refcount.get(&id).copied().unwrap_or(0) > 0
+        {
+            charge(&mut in_use, &mut peak, bytes[&id]);
+            held.insert(id, bytes[&id]);
+        }
+    }
+
+    for step in &compiled.steps {
+        if mode == ExecMode::Staged {
+            for &i in &step.inputs {
+                if let std::collections::btree_map::Entry::Vacant(slot) = held.entry(i) {
+                    charge(&mut in_use, &mut peak, bytes[&i]);
+                    slot.insert(bytes[&i]);
+                }
+            }
+        }
+
+        let out_bytes: u64 = step.outputs.iter().map(|o| bytes[o]).sum();
+        charge(&mut in_use, &mut peak, out_bytes); // gather scratch
+        for &o in &step.outputs {
+            charge(&mut in_use, &mut peak, bytes[&o]);
+            held.insert(o, bytes[&o]);
+        }
+        in_use -= out_bytes; // scratch freed
+
+        let mut seen = Vec::new();
+        for &i in &step.inputs {
+            if seen.contains(&i) {
+                continue;
+            }
+            seen.push(i);
+            let rc = refcount.get_mut(&i).expect("counted above");
+            *rc -= 1;
+            let intermediate = !matches!(plan.node(i), PlanNode::Input { .. });
+            if *rc == 0 || (mode == ExecMode::Staged && intermediate) {
+                if let Some(b) = held.remove(&i) {
+                    in_use -= b;
+                }
+            }
+        }
+
+        if mode == ExecMode::Staged {
+            for &o in &step.outputs {
+                if let Some(b) = held.remove(&o) {
+                    in_use -= b;
+                }
+            }
+        }
+    }
+    peak
+}
+
+/// Choose the cheapest execution mode predicted to fit in `capacity` device
+/// bytes.
+///
+/// # Errors
+///
+/// Returns [`WeaverError::Binding`] for unbound plan inputs and
+/// [`WeaverError::Admission`] when no mode is predicted to fit (including
+/// chunked at [`MAX_CHUNKS`], or non-elementwise plans whose staged footprint
+/// exceeds capacity).
+pub fn admit(
+    plan: &QueryPlan,
+    compiled: &CompiledPlan,
+    bindings: &[(&str, &Relation)],
+    capacity: u64,
+) -> Result<AdmissionReport> {
+    let rows = estimated_rows(plan, bindings)?;
+    let whole = node_bytes(plan, &rows, 1);
+    let resident_peak = predict_peak(plan, compiled, &whole, ExecMode::Resident);
+    let staged_peak = predict_peak(plan, compiled, &whole, ExecMode::Staged);
+    let elementwise = is_elementwise(plan);
+
+    let chunked = elementwise.then(|| {
+        let mut chunks = 2usize;
+        while chunks <= MAX_CHUNKS {
+            let scaled = node_bytes(plan, &rows, chunks as u64);
+            let peak = predict_peak(plan, compiled, &scaled, ExecMode::Resident);
+            if peak <= capacity {
+                return Some((chunks, peak));
+            }
+            chunks *= 2;
+        }
+        None
+    });
+    let chunked = chunked.flatten();
+
+    let chosen = if resident_peak <= capacity {
+        AdmittedMode::Resident
+    } else if staged_peak <= capacity {
+        AdmittedMode::Staged
+    } else if let Some((chunks, _)) = chunked {
+        AdmittedMode::Chunked { chunks }
+    } else {
+        return Err(WeaverError::admission(format!(
+            "no mode fits {capacity} device bytes: resident needs {resident_peak}, staged \
+             {staged_peak}, {}",
+            if elementwise {
+                format!("chunked still over capacity at {MAX_CHUNKS} chunks")
+            } else {
+                "plan is not elementwise so chunked streaming is unavailable".to_string()
+            }
+        )));
+    };
+
+    Ok(AdmissionReport {
+        capacity,
+        resident_peak,
+        staged_peak,
+        chunked,
+        elementwise,
+        chosen,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, WeaverConfig};
+    use kw_relational::{gen, CmpOp, Predicate, Value};
+
+    fn select_chain(schema: kw_relational::Schema, depth: usize) -> QueryPlan {
+        let mut p = QueryPlan::new();
+        let mut cur = p.add_input("t", schema);
+        for a in 0..depth {
+            cur = p
+                .add_op(
+                    RaOp::Select {
+                        pred: Predicate::cmp(a % 4, CmpOp::Lt, Value::U32(u32::MAX / 2)),
+                    },
+                    &[cur],
+                )
+                .unwrap();
+        }
+        p.mark_output(cur);
+        p
+    }
+
+    #[test]
+    fn big_capacity_admits_resident() {
+        let input = gen::micro_input(10_000, 1);
+        let plan = select_chain(input.schema().clone(), 3);
+        let compiled = compile(&plan, &WeaverConfig::default()).unwrap();
+        let report = admit(&plan, &compiled, &[("t", &input)], u64::MAX).unwrap();
+        assert_eq!(report.chosen, AdmittedMode::Resident);
+        assert!(report.resident_peak > 0);
+    }
+
+    #[test]
+    fn fusion_widens_what_fits_resident() {
+        // A widening MAP whose fat intermediate a fused kernel never
+        // materializes: the baseline must hold it in device memory, so its
+        // predicted resident peak is strictly larger (§2.3 benefit #4).
+        let input = gen::micro_input(10_000, 2);
+        let mut plan = QueryPlan::new();
+        let t = plan.add_input("t", input.schema().clone());
+        let wide = plan
+            .add_op(
+                RaOp::Map {
+                    exprs: (0..8)
+                        .map(|a| kw_relational::Expr::attr(a.min(2)))
+                        .collect(),
+                    key_arity: 1,
+                },
+                &[t],
+            )
+            .unwrap();
+        let narrow = plan
+            .add_op(
+                RaOp::Project {
+                    attrs: vec![0, 1],
+                    key_arity: 1,
+                },
+                &[wide],
+            )
+            .unwrap();
+        plan.mark_output(narrow);
+        let fused = compile(&plan, &WeaverConfig::default()).unwrap();
+        let base = compile(&plan, &WeaverConfig::default().baseline()).unwrap();
+        let b = &[("t", &input)];
+        let fused_peak = admit(&plan, &fused, b, u64::MAX).unwrap().resident_peak;
+        let base_peak = admit(&plan, &base, b, u64::MAX).unwrap().resident_peak;
+        assert!(
+            fused_peak < base_peak,
+            "fused {fused_peak} should undercut baseline {base_peak}"
+        );
+        // A capacity strictly between the two admits the fused plan Resident
+        // and pushes the baseline down the ladder.
+        let capacity = (fused_peak + base_peak) / 2;
+        assert_eq!(
+            admit(&plan, &fused, b, capacity).unwrap().chosen,
+            AdmittedMode::Resident
+        );
+        assert_ne!(
+            admit(&plan, &base, b, capacity).unwrap().chosen,
+            AdmittedMode::Resident
+        );
+    }
+
+    #[test]
+    fn tiny_capacity_degrades_to_chunked_for_elementwise_plans() {
+        let input = gen::micro_input(50_000, 3);
+        let plan = select_chain(input.schema().clone(), 2);
+        let compiled = compile(&plan, &WeaverConfig::default()).unwrap();
+        let report = admit(
+            &plan,
+            &compiled,
+            &[("t", &input)],
+            input.byte_size() as u64 / 4,
+        )
+        .unwrap();
+        assert!(matches!(report.chosen, AdmittedMode::Chunked { .. }));
+        let (chunks, peak) = report.chunked.unwrap();
+        assert!(chunks >= 2 && peak <= report.capacity);
+    }
+
+    #[test]
+    fn impossible_capacity_rejected_with_typed_error() {
+        let (l, r) = gen::join_inputs(5_000, 2, 0.5, 4);
+        let mut plan = QueryPlan::new();
+        let x = plan.add_input("x", l.schema().clone());
+        let y = plan.add_input("y", r.schema().clone());
+        let j = plan.add_op(RaOp::Join { key_len: 1 }, &[x, y]).unwrap();
+        plan.mark_output(j);
+        let compiled = compile(&plan, &WeaverConfig::default()).unwrap();
+        let err = admit(&plan, &compiled, &[("x", &l), ("y", &r)], 64).unwrap_err();
+        assert!(matches!(err, WeaverError::Admission { .. }), "{err}");
+        assert!(err.to_string().contains("not elementwise"));
+    }
+
+    #[test]
+    fn unbound_input_is_a_binding_error() {
+        let input = gen::micro_input(10, 5);
+        let plan = select_chain(input.schema().clone(), 1);
+        let compiled = compile(&plan, &WeaverConfig::default()).unwrap();
+        let err = admit(&plan, &compiled, &[("wrong", &input)], u64::MAX).unwrap_err();
+        assert!(matches!(err, WeaverError::Binding { .. }));
+    }
+}

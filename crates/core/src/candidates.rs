@@ -109,10 +109,7 @@ pub fn find_candidates(plan: &QueryPlan, opts: FusionOptions) -> Vec<Vec<NodeId>
         let root = find(&mut parent, id.0);
         groups.entry(root).or_default().push(id);
     }
-    let mut out: Vec<Vec<NodeId>> = groups
-        .into_values()
-        .filter(|g| g.len() >= 2)
-        .collect();
+    let mut out: Vec<Vec<NodeId>> = groups.into_values().filter(|g| g.len() >= 2).collect();
     for g in &mut out {
         g.sort(); // insertion order is topological
     }

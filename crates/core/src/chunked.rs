@@ -11,7 +11,7 @@ use kw_gpu_sim::{Device, Direction};
 use kw_primitives::{consumer_class, DependenceClass};
 use kw_relational::Relation;
 
-use crate::{compile, NodeId, QueryPlan, Result, WeaverConfig, WeaverError};
+use crate::{compile, CompiledPlan, NodeId, QueryPlan, Result, WeaverConfig, WeaverError};
 
 /// Report of a chunked execution.
 #[derive(Debug)]
@@ -29,6 +29,9 @@ pub struct ChunkedReport {
     pub pipelined_seconds: f64,
     /// Number of chunks executed.
     pub chunks: usize,
+    /// Largest peak device bytes any single chunk reached on its scratch
+    /// device — the footprint a real GPU would need for this schedule.
+    pub peak_device_bytes: u64,
 }
 
 /// Whether every operator of `plan` is thread-dependent (elementwise), the
@@ -77,13 +80,31 @@ pub fn execute_chunked(
     config: &WeaverConfig,
     chunks: usize,
 ) -> Result<ChunkedReport> {
+    let compiled = compile(plan, config)?;
+    execute_chunked_compiled(plan, &compiled, bindings, device, config, chunks)
+}
+
+/// [`execute_chunked`] for an already-compiled plan (used by the resilient
+/// driver, which compiles once and may run the same plan at several ladder
+/// rungs).
+///
+/// # Errors
+///
+/// Same contract as [`execute_chunked`].
+pub fn execute_chunked_compiled(
+    plan: &QueryPlan,
+    compiled: &CompiledPlan,
+    bindings: &[(&str, &Relation)],
+    device: &mut Device,
+    config: &WeaverConfig,
+    chunks: usize,
+) -> Result<ChunkedReport> {
     if !is_elementwise(plan) {
         return Err(WeaverError::plan(
             "chunked streaming requires an elementwise (thread-dependent-only) plan",
         ));
     }
     let chunks = chunks.max(1);
-    let compiled = compile(plan, config)?;
 
     // Split every bound input into row chunks (chunking by index keeps each
     // chunk key-sorted and their concatenation key-ordered).
@@ -106,10 +127,14 @@ pub fn execute_chunked(
     let mut out_schemas: std::collections::BTreeMap<NodeId, kw_relational::Schema> =
         Default::default();
 
+    let mut peak_device_bytes = 0u64;
     for chunk in &chunked_inputs {
         let refs: Vec<(&str, &Relation)> = chunk.iter().map(|(n, r)| (*n, r)).collect();
-        let mut scratch = Device::new(device.config().clone());
-        let report = crate::execute_compiled(plan, &compiled, &refs, &mut scratch, config)?;
+        // fork_scratch carries the parent's fault rates on a derived stream,
+        // so injected faults keep striking inside chunk execution too.
+        let mut scratch = device.fork_scratch();
+        let report = crate::execute_compiled(plan, compiled, &refs, &mut scratch, config)?;
+        peak_device_bytes = peak_device_bytes.max(scratch.memory().peak());
 
         let in_bytes: u64 = chunk.iter().map(|(_, r)| r.byte_size() as u64).sum();
         let out_bytes: u64 = report.outputs.values().map(|r| r.byte_size() as u64).sum();
@@ -121,13 +146,19 @@ pub fn execute_chunked(
         let mid = report.gpu_seconds + (report.pcie_seconds - h2d - d2h).max(0.0);
         per_chunk.push((h2d, mid, d2h));
 
-        // Mirror the traffic onto the user's device for its counters.
-        device.transfer(Direction::HostToDevice, in_bytes);
-        device.transfer(Direction::DeviceToHost, out_bytes);
+        // Mirror the traffic onto the user's device for its counters. These
+        // are fault-injectable like any transfer.
+        device.transfer(Direction::HostToDevice, in_bytes)?;
+        device.transfer(Direction::DeviceToHost, out_bytes)?;
 
         for (&node, rel) in &report.outputs {
-            outputs.entry(node).or_default().extend_from_slice(rel.words());
-            out_schemas.entry(node).or_insert_with(|| rel.schema().clone());
+            outputs
+                .entry(node)
+                .or_default()
+                .extend_from_slice(rel.words());
+            out_schemas
+                .entry(node)
+                .or_insert_with(|| rel.schema().clone());
         }
     }
 
@@ -153,6 +184,7 @@ pub fn execute_chunked(
         serialized_seconds: serialized,
         pipelined_seconds: pipelined,
         chunks,
+        peak_device_bytes,
     })
 }
 
@@ -210,9 +242,14 @@ mod tests {
         let input = gen::micro_input(40_000, 21);
         let (plan, out) = elementwise_plan(input.schema().clone());
         let mut dev = Device::new(DeviceConfig::fermi_c2050());
-        let report =
-            execute_chunked(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default(), 7)
-                .unwrap();
+        let report = execute_chunked(
+            &plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+            7,
+        )
+        .unwrap();
         let oracle = ops::project(
             &ops::select(
                 &input,
@@ -232,9 +269,14 @@ mod tests {
         let input = gen::micro_input(200_000, 22);
         let (plan, _) = elementwise_plan(input.schema().clone());
         let mut dev = Device::new(DeviceConfig::fermi_c2050());
-        let report =
-            execute_chunked(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default(), 8)
-                .unwrap();
+        let report = execute_chunked(
+            &plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+            8,
+        )
+        .unwrap();
         assert!(
             report.pipelined_seconds < report.serialized_seconds * 0.95,
             "overlap should shave real time: {report:?}"

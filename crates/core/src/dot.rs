@@ -27,7 +27,8 @@ use crate::{CompiledPlan, NodeId, PlanNode, QueryPlan};
 /// ```
 pub fn plan_to_dot(plan: &QueryPlan, compiled: Option<&CompiledPlan>) -> String {
     use std::fmt::Write as _;
-    let mut s = String::from("digraph query_plan {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
+    let mut s =
+        String::from("digraph query_plan {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
 
     let in_set = |n: NodeId| -> Option<usize> {
         compiled.and_then(|c| c.fusion_sets.iter().position(|set| set.contains(&n)))
@@ -56,11 +57,7 @@ pub fn plan_to_dot(plan: &QueryPlan, compiled: Option<&CompiledPlan>) -> String 
         }
         if plan.is_output(id) {
             let _ = writeln!(s, "  n{} -> result_{} [style=dotted];", id.0, id.0);
-            let _ = writeln!(
-                s,
-                "  result_{} [label=\"output\", shape=note];",
-                id.0
-            );
+            let _ = writeln!(s, "  result_{} [label=\"output\", shape=note];", id.0);
         }
     }
     s.push_str("}\n");
@@ -78,10 +75,7 @@ fn node_decl(plan: &QueryPlan, id: NodeId) -> String {
                 DependenceClass::Cta => ("box", "orange"),
                 DependenceClass::Kernel => ("octagon", "red"),
             };
-            format!(
-                "n{} [label=\"{op}\", shape={shape}, color={color}]",
-                id.0
-            )
+            format!("n{} [label=\"{op}\", shape={shape}, color={color}]", id.0)
         }
     }
 }
@@ -97,14 +91,29 @@ mod tests {
         let mut p = QueryPlan::new();
         let t = p.add_input("t", Schema::uniform_u32(2));
         let a = p
-            .add_op(RaOp::Select { pred: Predicate::True }, &[t])
+            .add_op(
+                RaOp::Select {
+                    pred: Predicate::True,
+                },
+                &[t],
+            )
             .unwrap();
         let s = p.add_op(RaOp::Sort { attrs: vec![1] }, &[a]).unwrap();
         let b = p
-            .add_op(RaOp::Select { pred: Predicate::True }, &[s])
+            .add_op(
+                RaOp::Select {
+                    pred: Predicate::True,
+                },
+                &[s],
+            )
             .unwrap();
         let c = p
-            .add_op(RaOp::Select { pred: Predicate::True }, &[b])
+            .add_op(
+                RaOp::Select {
+                    pred: Predicate::True,
+                },
+                &[b],
+            )
             .unwrap();
         p.mark_output(c);
         p

@@ -23,6 +23,12 @@ pub enum WeaverError {
         /// Description of the problem.
         detail: String,
     },
+    /// Admission control predicts the plan fits no execution mode on the
+    /// target device.
+    Admission {
+        /// Description of the capacity shortfall.
+        detail: String,
+    },
 }
 
 impl WeaverError {
@@ -39,6 +45,35 @@ impl WeaverError {
             detail: detail.into(),
         }
     }
+
+    /// Convenience constructor for admission-control rejections.
+    pub fn admission(detail: impl Into<String>) -> WeaverError {
+        WeaverError::Admission {
+            detail: detail.into(),
+        }
+    }
+
+    /// The underlying simulator error, if any — digs through the IR layer,
+    /// which wraps device errors raised during kernel execution.
+    pub fn sim(&self) -> Option<&kw_gpu_sim::SimError> {
+        match self {
+            WeaverError::Sim(e) => Some(e),
+            WeaverError::Ir(kw_kernel_ir::IrError::Sim(e)) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether this failure is a transient injected fault: retrying the same
+    /// execution can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        self.sim().is_some_and(kw_gpu_sim::SimError::is_transient)
+    }
+
+    /// Whether this failure is a device capacity miss, recoverable by
+    /// degrading to an execution mode with a smaller footprint.
+    pub fn is_capacity(&self) -> bool {
+        self.sim().is_some_and(kw_gpu_sim::SimError::is_capacity)
+    }
 }
 
 impl fmt::Display for WeaverError {
@@ -50,6 +85,7 @@ impl fmt::Display for WeaverError {
             WeaverError::Ir(e) => write!(f, "{e}"),
             WeaverError::Sim(e) => write!(f, "{e}"),
             WeaverError::Binding { detail } => write!(f, "input binding error: {detail}"),
+            WeaverError::Admission { detail } => write!(f, "admission rejected: {detail}"),
         }
     }
 }
@@ -101,5 +137,26 @@ mod tests {
     fn display_nonempty() {
         assert!(WeaverError::plan("cycle").to_string().contains("cycle"));
         assert!(WeaverError::binding("missing x").to_string().contains("x"));
+        assert!(WeaverError::admission("too big")
+            .to_string()
+            .contains("too big"));
+    }
+
+    #[test]
+    fn sim_digs_through_ir_layer() {
+        let fault = kw_gpu_sim::SimError::LaunchFault { label: "k".into() };
+        let direct = WeaverError::Sim(fault.clone());
+        let wrapped = WeaverError::Ir(kw_kernel_ir::IrError::Sim(fault.clone()));
+        assert_eq!(direct.sim(), Some(&fault));
+        assert_eq!(wrapped.sim(), Some(&fault));
+        assert!(direct.is_transient() && wrapped.is_transient());
+        assert!(!direct.is_capacity());
+
+        let oom = WeaverError::Sim(kw_gpu_sim::SimError::OutOfMemory {
+            requested: 2,
+            free: 1,
+        });
+        assert!(oom.is_capacity() && !oom.is_transient());
+        assert!(WeaverError::plan("x").sim().is_none());
     }
 }

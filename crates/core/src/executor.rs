@@ -21,7 +21,9 @@ use kw_gpu_sim::{BufferId, Device, Direction, SimStats};
 use kw_kernel_ir::execute as execute_op;
 use kw_relational::Relation;
 
-use crate::{compile, CompiledPlan, NodeId, PlanNode, QueryPlan, Result, WeaverConfig, WeaverError};
+use crate::{
+    compile, CompiledPlan, NodeId, PlanNode, QueryPlan, Result, WeaverConfig, WeaverError,
+};
 
 /// Where intermediate results live between operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,6 +55,9 @@ pub struct PlanReport {
     pub fusion_sets: Vec<Vec<NodeId>>,
     /// Number of (possibly fused) operators executed.
     pub operator_count: usize,
+    /// How the resilient driver got here (mode chosen, retries, faults
+    /// survived, degradations). `None` for direct executor calls.
+    pub resilience: Option<crate::resilient::ResilienceReport>,
 }
 
 impl PlanReport {
@@ -120,6 +125,44 @@ pub fn execute_compiled(
     device: &mut Device,
     config: &WeaverConfig,
 ) -> Result<PlanReport> {
+    // Cleanup guard: `run_compiled` registers every live device buffer in
+    // `live`; any early error return would otherwise leak them (the final
+    // free loop never runs), leaving the device unusable for a retry or a
+    // degraded re-execution. Free errors during unwind are ignored — the
+    // original error is the one worth reporting.
+    let mut live = LiveBuffers::default();
+    let result = run_compiled(plan, compiled, bindings, device, config, &mut live);
+    if result.is_err() {
+        for buf in live.drain() {
+            let _ = device.free(buf);
+        }
+    }
+    result
+}
+
+/// Device buffers currently owned by an in-flight execution: the per-node
+/// buffer map plus the transient gather-scratch allocation.
+#[derive(Default)]
+struct LiveBuffers {
+    by_node: BTreeMap<NodeId, BufferId>,
+    scratch: Option<BufferId>,
+}
+
+impl LiveBuffers {
+    fn drain(&mut self) -> impl Iterator<Item = BufferId> {
+        let by_node = std::mem::take(&mut self.by_node);
+        by_node.into_values().chain(self.scratch.take())
+    }
+}
+
+fn run_compiled(
+    plan: &QueryPlan,
+    compiled: &CompiledPlan,
+    bindings: &[(&str, &Relation)],
+    device: &mut Device,
+    config: &WeaverConfig,
+    live: &mut LiveBuffers,
+) -> Result<PlanReport> {
     // Resolve input nodes to bound relations.
     let mut values: BTreeMap<NodeId, Relation> = BTreeMap::new();
     for id in plan.node_ids() {
@@ -155,8 +198,6 @@ pub fn execute_compiled(
         *refcount.entry(o).or_insert(0) += 1;
     }
 
-    let mut buffers: BTreeMap<NodeId, BufferId> = BTreeMap::new();
-
     // Upload every referenced base relation once (both modes: the paper's
     // staged experiment streams operator *results* back to the host; base
     // relations are transferred when first needed and shared inputs are not
@@ -167,8 +208,8 @@ pub fn execute_compiled(
         {
             let rel = &values[&id];
             let buf = device.alloc(rel.byte_size() as u64, format!("input.{id}"))?;
-            device.transfer(Direction::HostToDevice, rel.byte_size() as u64);
-            buffers.insert(id, buf);
+            live.by_node.insert(id, buf);
+            device.transfer(Direction::HostToDevice, rel.byte_size() as u64)?;
         }
     }
 
@@ -177,13 +218,13 @@ pub fn execute_compiled(
         // step that produced them; re-stage the ones this step consumes.
         if config.mode == ExecMode::Staged {
             for &i in &step.inputs {
-                if let std::collections::btree_map::Entry::Vacant(slot) = buffers.entry(i) {
+                if let std::collections::btree_map::Entry::Vacant(slot) = live.by_node.entry(i) {
                     let rel = values.get(&i).ok_or_else(|| {
                         WeaverError::plan(format!("step input {i} not yet computed"))
                     })?;
                     let buf = device.alloc(rel.byte_size() as u64, format!("staged.{i}"))?;
-                    device.transfer(Direction::HostToDevice, rel.byte_size() as u64);
                     slot.insert(buf);
+                    device.transfer(Direction::HostToDevice, rel.byte_size() as u64)?;
                 }
             }
         }
@@ -203,10 +244,12 @@ pub fn execute_compiled(
         // Allocate gather scratch + final output buffers.
         let out_bytes: u64 = result.outputs.iter().map(|r| r.byte_size() as u64).sum();
         let scratch = device.alloc(out_bytes, format!("{}.scratch", step.op.label))?;
+        live.scratch = Some(scratch);
         for (rel, &node) in result.outputs.iter().zip(&step.outputs) {
             let buf = device.alloc(rel.byte_size() as u64, format!("result.{node}"))?;
-            buffers.insert(node, buf);
+            live.by_node.insert(node, buf);
         }
+        live.scratch = None;
         device.free(scratch)?;
 
         for (rel, &node) in result.outputs.into_iter().zip(&step.outputs) {
@@ -226,7 +269,7 @@ pub fn execute_compiled(
             let intermediate = !matches!(plan.node(i), PlanNode::Input { .. });
             let release = *rc == 0 || (config.mode == ExecMode::Staged && intermediate);
             if release {
-                if let Some(buf) = buffers.remove(&i) {
+                if let Some(buf) = live.by_node.remove(&i) {
                     device.free(buf)?;
                 }
             }
@@ -237,8 +280,8 @@ pub fn execute_compiled(
         if config.mode == ExecMode::Staged {
             for &node in &step.outputs {
                 let bytes = values[&node].byte_size() as u64;
-                device.transfer(Direction::DeviceToHost, bytes);
-                if let Some(buf) = buffers.remove(&node) {
+                device.transfer(Direction::DeviceToHost, bytes)?;
+                if let Some(buf) = live.by_node.remove(&node) {
                     device.free(buf)?;
                 }
             }
@@ -251,21 +294,27 @@ pub fn execute_compiled(
             let bytes = values
                 .get(&o)
                 .map(|r| r.byte_size() as u64)
-                .unwrap_or(0);
-            device.transfer(Direction::DeviceToHost, bytes);
+                .ok_or_else(|| {
+                    WeaverError::plan(format!("plan output {o} was never computed by any step"))
+                })?;
+            device.transfer(Direction::DeviceToHost, bytes)?;
         }
     }
-    let ids: Vec<NodeId> = buffers.keys().copied().collect();
+    let ids: Vec<NodeId> = live.by_node.keys().copied().collect();
     for id in ids {
-        let buf = buffers.remove(&id).expect("key exists");
+        let buf = live.by_node.remove(&id).expect("key exists");
         device.free(buf)?;
     }
 
     let outputs: BTreeMap<NodeId, Relation> = plan
         .outputs()
         .iter()
-        .map(|&o| (o, values[&o].clone()))
-        .collect();
+        .map(|&o| {
+            values.get(&o).cloned().map(|r| (o, r)).ok_or_else(|| {
+                WeaverError::plan(format!("plan output {o} was never computed by any step"))
+            })
+        })
+        .collect::<Result<_>>()?;
 
     Ok(PlanReport {
         outputs,
@@ -276,6 +325,7 @@ pub fn execute_compiled(
         peak_device_bytes: device.memory().peak(),
         fusion_sets: compiled.fusion_sets.clone(),
         operator_count: compiled.steps.len(),
+        resilience: None,
     })
 }
 
@@ -321,8 +371,8 @@ mod tests {
         .unwrap();
 
         let mut d1 = device();
-        let fused = execute_plan(&plan, &[("t", &input)], &mut d1, &WeaverConfig::default())
-            .unwrap();
+        let fused =
+            execute_plan(&plan, &[("t", &input)], &mut d1, &WeaverConfig::default()).unwrap();
         let mut d2 = device();
         let base = execute_plan(
             &plan,
@@ -396,8 +446,13 @@ mod tests {
         let input = gen::micro_input(10, 4);
         let (plan, _) = select_chain_plan(input.schema().clone());
         let mut d = device();
-        let err = execute_plan(&plan, &[("wrong", &input)], &mut d, &WeaverConfig::default())
-            .unwrap_err();
+        let err = execute_plan(
+            &plan,
+            &[("wrong", &input)],
+            &mut d,
+            &WeaverConfig::default(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("no relation bound"));
     }
 
@@ -406,9 +461,7 @@ mod tests {
         let (plan, _) = select_chain_plan(kw_relational::Schema::uniform_u32(4));
         let wrong = gen::selectivity_input(10, 2, 1);
         let mut d = device();
-        assert!(
-            execute_plan(&plan, &[("t", &wrong)], &mut d, &WeaverConfig::default()).is_err()
-        );
+        assert!(execute_plan(&plan, &[("t", &wrong)], &mut d, &WeaverConfig::default()).is_err());
     }
 
     #[test]
@@ -429,9 +482,13 @@ mod tests {
         .unwrap();
 
         let mut d1 = device();
-        let fused =
-            execute_plan(&plan, &[("x", &l), ("y", &r)], &mut d1, &WeaverConfig::default())
-                .unwrap();
+        let fused = execute_plan(
+            &plan,
+            &[("x", &l), ("y", &r)],
+            &mut d1,
+            &WeaverConfig::default(),
+        )
+        .unwrap();
         assert_eq!(fused.outputs[&j], oracle);
         assert_eq!(fused.fusion_sets.len(), 1);
 

@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod candidates;
 mod chunked;
 mod compile;
@@ -61,16 +62,23 @@ mod error;
 mod executor;
 mod plan;
 mod reschedule;
+mod resilient;
 mod selection;
 mod weave;
 
-pub use candidates::{find_candidates, is_input_node, is_weavable, kernel_boundaries, FusionOptions};
+pub use admission::{admit, AdmissionReport, AdmittedMode, MAX_CHUNKS};
+pub use candidates::{
+    find_candidates, is_input_node, is_weavable, kernel_boundaries, FusionOptions,
+};
+pub use chunked::{execute_chunked, execute_chunked_compiled, is_elementwise, ChunkedReport};
 pub use compile::{compile, CompiledPlan, CompiledStep, WeaverConfig};
-pub use chunked::{execute_chunked, is_elementwise, ChunkedReport};
 pub use dot::plan_to_dot;
 pub use error::{Result, WeaverError};
 pub use executor::{execute_compiled, execute_plan, ExecMode, PlanReport};
 pub use plan::{NodeId, PlanNode, QueryPlan};
 pub use reschedule::{reschedule, Rescheduled};
+pub use resilient::{
+    execute_compiled_resilient, execute_resilient, Degradation, ResilienceReport, RetryPolicy,
+};
 pub use selection::{select_fusions, ResourceBudget};
 pub use weave::{weave, WovenOperator};

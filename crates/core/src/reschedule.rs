@@ -53,8 +53,7 @@ pub struct Rescheduled {
 pub fn reschedule(plan: &QueryPlan) -> Result<Rescheduled> {
     plan.validate()?;
     let mut current = plan.clone();
-    let mut node_map: BTreeMap<NodeId, NodeId> =
-        plan.node_ids().map(|n| (n, n)).collect();
+    let mut node_map: BTreeMap<NodeId, NodeId> = plan.node_ids().map(|n| (n, n)).collect();
     let mut total_swaps = 0;
 
     loop {
@@ -114,10 +113,8 @@ fn hoist_once(plan: &QueryPlan) -> Result<(QueryPlan, BTreeMap<NodeId, NodeId>, 
                             let remap: Vec<Option<usize>> =
                                 order.iter().map(|&o| Some(o)).collect();
                             if let Some(pred2) = pred.remap_attrs(&remap) {
-                                let new_sel = out.add_op(
-                                    RaOp::Select { pred: pred2 },
-                                    &[map[&base]],
-                                )?;
+                                let new_sel =
+                                    out.add_op(RaOp::Select { pred: pred2 }, &[map[&base]])?;
                                 let new_sort = out.add_op(
                                     RaOp::Sort {
                                         attrs: attrs.clone(),
@@ -141,7 +138,10 @@ fn hoist_once(plan: &QueryPlan) -> Result<(QueryPlan, BTreeMap<NodeId, NodeId>, 
                     continue;
                 }
                 if matches!(op, RaOp::Sort { .. })
-                    && plan.consumers(id).iter().all(|c| is_hoisted_select(plan, *c))
+                    && plan
+                        .consumers(id)
+                        .iter()
+                        .all(|c| is_hoisted_select(plan, *c))
                     && !plan.is_output(id)
                     && !plan.consumers(id).is_empty()
                 {

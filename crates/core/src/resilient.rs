@@ -1,0 +1,383 @@
+//! Resilient execution: admission control + bounded retry + a
+//! Resident → Staged → Chunked degradation ladder.
+//!
+//! [`execute_resilient`] wraps the plain executor with three policies:
+//!
+//! 1. **Admission** ([`crate::admit`]) predicts peak device bytes per mode
+//!    and starts at the cheapest rung predicted to fit, instead of
+//!    discovering OOM halfway through a run.
+//! 2. **Retry** — transient injected faults (PCIe transfer, kernel launch,
+//!    allocation — see [`kw_gpu_sim::SimError::is_transient`]) are retried
+//!    on the same rung with exponential backoff; the backoff wait is charged
+//!    to the device timeline so reports stay honest about elapsed time.
+//! 3. **Degradation** — a mid-run capacity miss (admission under-estimated)
+//!    drops one rung: Resident → Staged → Chunked(c) → Chunked(2c), chunked
+//!    rungs only for elementwise plans and only up to
+//!    [`crate::admission::MAX_CHUNKS`].
+//!
+//! Every completed run carries a [`ResilienceReport`] in
+//! [`PlanReport::resilience`] recording the admitted mode, the final mode,
+//! retries, faults survived, degradations taken and total backoff charged.
+
+use kw_gpu_sim::Device;
+use kw_relational::Relation;
+
+use crate::admission::{admit, AdmissionReport, AdmittedMode, MAX_CHUNKS};
+use crate::chunked::{execute_chunked_compiled, is_elementwise};
+use crate::{compile, CompiledPlan, ExecMode, PlanReport, QueryPlan, Result, WeaverConfig};
+
+/// Retry/degradation policy for [`execute_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Transient-fault retries allowed per ladder rung before the fault
+    /// propagates. The budget resets when the driver changes rung.
+    pub max_retries: u32,
+    /// Backoff charged (simulated seconds) before the first retry.
+    pub base_backoff_seconds: f64,
+    /// Multiplier applied to the backoff after each retry on the same rung.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff_seconds: 1e-3,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+/// One rung-change the driver took after a mid-run capacity miss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// The rung that ran out of memory.
+    pub from: AdmittedMode,
+    /// The rung the driver dropped to.
+    pub to: AdmittedMode,
+    /// The capacity error that forced the drop.
+    pub reason: String,
+}
+
+/// How a resilient execution got to its answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// The admission controller's pre-flight verdict.
+    pub admission: AdmissionReport,
+    /// Mode admission chose before execution started.
+    pub admitted: AdmittedMode,
+    /// Mode that actually produced the answer.
+    pub final_mode: AdmittedMode,
+    /// Total executions attempted (1 = clean first run).
+    pub attempts: u32,
+    /// Re-executions caused by transient faults.
+    pub retries: u32,
+    /// Transient injected faults the driver absorbed without failing the
+    /// query.
+    pub faults_survived: u32,
+    /// Rung drops taken after mid-run capacity misses, in order.
+    pub degradations: Vec<Degradation>,
+    /// Simulated seconds of retry backoff charged to the device timeline.
+    pub backoff_seconds: f64,
+}
+
+/// Compile `plan` and run it resiliently (admission, retry, degradation).
+///
+/// # Errors
+///
+/// Propagates compile errors, admission rejections
+/// ([`crate::WeaverError::Admission`]), transient faults that exhaust the
+/// per-rung retry budget, capacity misses with no rung left below, and all
+/// fatal errors.
+///
+/// # Examples
+///
+/// ```
+/// use kw_core::{execute_resilient, QueryPlan, RetryPolicy, WeaverConfig};
+/// use kw_gpu_sim::{Device, DeviceConfig, FaultConfig};
+/// use kw_primitives::RaOp;
+/// use kw_relational::{gen, CmpOp, Predicate, Value};
+///
+/// let input = gen::micro_input(10_000, 7);
+/// let mut plan = QueryPlan::new();
+/// let t = plan.add_input("t", input.schema().clone());
+/// let s = plan.add_op(
+///     RaOp::Select { pred: Predicate::cmp(0, CmpOp::Lt, Value::U32(1 << 31)) },
+///     &[t],
+/// )?;
+/// plan.mark_output(s);
+///
+/// let mut device = Device::new(DeviceConfig::fermi_c2050());
+/// device.inject_faults(FaultConfig::uniform(42, 0.05)); // 5% fault rate
+/// let report = execute_resilient(
+///     &plan, &[("t", &input)], &mut device,
+///     &WeaverConfig::default(), &RetryPolicy::default(),
+/// )?;
+/// let res = report.resilience.as_ref().unwrap();
+/// assert_eq!(res.attempts, res.retries + 1);
+/// # Ok::<(), kw_core::WeaverError>(())
+/// ```
+pub fn execute_resilient(
+    plan: &QueryPlan,
+    bindings: &[(&str, &Relation)],
+    device: &mut Device,
+    config: &WeaverConfig,
+    policy: &RetryPolicy,
+) -> Result<PlanReport> {
+    let compiled = compile(plan, config)?;
+    execute_compiled_resilient(plan, &compiled, bindings, device, config, policy)
+}
+
+/// [`execute_resilient`] for an already-compiled plan.
+///
+/// # Errors
+///
+/// Same contract as [`execute_resilient`], minus compilation.
+pub fn execute_compiled_resilient(
+    plan: &QueryPlan,
+    compiled: &CompiledPlan,
+    bindings: &[(&str, &Relation)],
+    device: &mut Device,
+    config: &WeaverConfig,
+    policy: &RetryPolicy,
+) -> Result<PlanReport> {
+    let free = device
+        .memory()
+        .capacity()
+        .saturating_sub(device.memory().in_use());
+    let admission = admit(plan, compiled, bindings, free)?;
+    let admitted = admission.chosen;
+
+    let mut mode = admitted;
+    let mut attempts = 0u32;
+    let mut retries = 0u32;
+    let mut retries_this_rung = 0u32;
+    let mut degradations: Vec<Degradation> = Vec::new();
+    let mut backoff_seconds = 0.0f64;
+
+    loop {
+        attempts += 1;
+        let result = match mode {
+            AdmittedMode::Resident => {
+                let mut cfg = *config;
+                cfg.mode = ExecMode::Resident;
+                crate::execute_compiled(plan, compiled, bindings, device, &cfg)
+            }
+            AdmittedMode::Staged => {
+                let mut cfg = *config;
+                cfg.mode = ExecMode::Staged;
+                crate::execute_compiled(plan, compiled, bindings, device, &cfg)
+            }
+            AdmittedMode::Chunked { chunks } => {
+                // Each chunk runs resident on its scratch device; staging
+                // within a chunk would defeat the point of chunking.
+                let mut cfg = *config;
+                cfg.mode = ExecMode::Resident;
+                execute_chunked_compiled(plan, compiled, bindings, device, &cfg, chunks).map(|r| {
+                    PlanReport {
+                        outputs: r.outputs,
+                        gpu_seconds: r.gpu_seconds,
+                        pcie_seconds: r.pcie_seconds,
+                        total_seconds: r.pipelined_seconds + backoff_seconds,
+                        stats: *device.stats(),
+                        peak_device_bytes: r.peak_device_bytes,
+                        fusion_sets: compiled.fusion_sets.clone(),
+                        operator_count: compiled.steps.len(),
+                        resilience: None,
+                    }
+                })
+            }
+        };
+
+        match result {
+            Ok(mut report) => {
+                report.resilience = Some(ResilienceReport {
+                    admission,
+                    admitted,
+                    final_mode: mode,
+                    attempts,
+                    retries,
+                    faults_survived: retries,
+                    degradations,
+                    backoff_seconds,
+                });
+                return Ok(report);
+            }
+            Err(e) if e.is_transient() && retries_this_rung < policy.max_retries => {
+                let wait = policy.base_backoff_seconds
+                    * policy.backoff_multiplier.powi(retries_this_rung as i32);
+                device.charge_backoff(wait);
+                backoff_seconds += wait;
+                retries_this_rung += 1;
+                retries += 1;
+            }
+            Err(e) if e.is_capacity() => match next_rung(mode, plan) {
+                Some(next) => {
+                    degradations.push(Degradation {
+                        from: mode,
+                        to: next,
+                        reason: e.to_string(),
+                    });
+                    mode = next;
+                    retries_this_rung = 0;
+                }
+                None => return Err(e),
+            },
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The rung below `mode`, if the ladder has one for this plan.
+fn next_rung(mode: AdmittedMode, plan: &QueryPlan) -> Option<AdmittedMode> {
+    match mode {
+        AdmittedMode::Resident => Some(AdmittedMode::Staged),
+        AdmittedMode::Staged => is_elementwise(plan).then_some(AdmittedMode::Chunked { chunks: 2 }),
+        AdmittedMode::Chunked { chunks } => {
+            let next = chunks.saturating_mul(2);
+            (next <= MAX_CHUNKS).then_some(AdmittedMode::Chunked { chunks: next })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WeaverError;
+    use kw_gpu_sim::{DeviceConfig, FaultConfig, FaultKind, ScriptedFault};
+    use kw_primitives::RaOp;
+    use kw_relational::{gen, CmpOp, Predicate, Value};
+
+    fn select_plan(schema: kw_relational::Schema) -> QueryPlan {
+        let mut plan = QueryPlan::new();
+        let t = plan.add_input("t", schema);
+        let s = plan
+            .add_op(
+                RaOp::Select {
+                    pred: Predicate::cmp(0, CmpOp::Lt, Value::U32(u32::MAX / 2)),
+                },
+                &[t],
+            )
+            .unwrap();
+        plan.mark_output(s);
+        plan
+    }
+
+    fn oracle(input: &Relation) -> Relation {
+        kw_relational::ops::select(
+            input,
+            &Predicate::cmp(0, CmpOp::Lt, Value::U32(u32::MAX / 2)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_run_is_single_resident_attempt() {
+        let input = gen::micro_input(5_000, 31);
+        let plan = select_plan(input.schema().clone());
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        let report = execute_resilient(
+            &plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        let res = report.resilience.as_ref().unwrap();
+        assert_eq!(res.admitted, AdmittedMode::Resident);
+        assert_eq!(res.final_mode, AdmittedMode::Resident);
+        assert_eq!((res.attempts, res.retries), (1, 0));
+        assert!(res.degradations.is_empty());
+        assert_eq!(dev.memory().in_use(), 0, "no leaked device bytes");
+    }
+
+    #[test]
+    fn scripted_transfer_fault_is_retried_and_backoff_charged() {
+        let input = gen::micro_input(5_000, 32);
+        let plan = select_plan(input.schema().clone());
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        dev.inject_faults(FaultConfig::scripted(vec![ScriptedFault {
+            kind: FaultKind::Transfer,
+            attempt: 0,
+        }]));
+        let report = execute_resilient(
+            &plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(report.outputs.values().next().unwrap(), &oracle(&input));
+        let res = report.resilience.as_ref().unwrap();
+        assert_eq!((res.attempts, res.retries, res.faults_survived), (2, 1, 1));
+        assert!(res.backoff_seconds > 0.0);
+        assert!(dev.stats().backoff_seconds > 0.0);
+        assert_eq!(dev.memory().in_use(), 0, "retry must not leak buffers");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_propagates_the_fault() {
+        let input = gen::micro_input(1_000, 33);
+        let plan = select_plan(input.schema().clone());
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        dev.inject_faults(FaultConfig {
+            transfer_rate: 1.0, // every transfer faults, forever
+            ..FaultConfig::default()
+        });
+        let err = execute_resilient(
+            &plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+            &RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert_eq!(dev.memory().in_use(), 0);
+    }
+
+    #[test]
+    fn tiny_device_degrades_down_the_ladder_to_chunked() {
+        let input = gen::micro_input(50_000, 34);
+        let plan = select_plan(input.schema().clone());
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let report = execute_resilient(
+            &plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(report.outputs.values().next().unwrap(), &oracle(&input));
+        let res = report.resilience.as_ref().unwrap();
+        assert!(
+            matches!(res.final_mode, AdmittedMode::Chunked { .. }),
+            "{:?}",
+            res.final_mode
+        );
+        assert_eq!(dev.memory().in_use(), 0);
+    }
+
+    #[test]
+    fn non_elementwise_plan_on_hopeless_device_fails_typed() {
+        let (l, r) = gen::join_inputs(200_000, 2, 0.5, 35);
+        let mut plan = QueryPlan::new();
+        let x = plan.add_input("x", l.schema().clone());
+        let y = plan.add_input("y", r.schema().clone());
+        let j = plan.add_op(RaOp::Join { key_len: 1 }, &[x, y]).unwrap();
+        plan.mark_output(j);
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let err = execute_resilient(
+            &plan,
+            &[("x", &l), ("y", &r)],
+            &mut dev,
+            &WeaverConfig::default(),
+            &RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WeaverError::Admission { .. }), "{err}");
+    }
+}

@@ -109,10 +109,7 @@ fn fused_fits(
         .flat_map(|&n| plan.producers(n).iter().copied())
         .filter(|p| !set.contains(p))
         .collect();
-    if external
-        .iter()
-        .any(|&p| depends_on_any(plan, p, set))
-    {
+    if external.iter().any(|&p| depends_on_any(plan, p, set)) {
         return false;
     }
 
@@ -276,13 +273,8 @@ mod tests {
 
         let groups = find_candidates(&p, FusionOptions::default());
         for g in &groups {
-            let sets = select_fusions(
-                &p,
-                g,
-                ResourceBudget::default(),
-                DEFAULT_THREADS_PER_CTA,
-            )
-            .unwrap();
+            let sets =
+                select_fusions(&p, g, ResourceBudget::default(), DEFAULT_THREADS_PER_CTA).unwrap();
             for set in sets {
                 assert!(
                     !(set.contains(&u) && set.contains(&j)),

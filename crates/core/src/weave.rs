@@ -106,9 +106,7 @@ pub fn weave(plan: &QueryPlan, set: &[NodeId], threads_per_cta: u32) -> Result<W
     };
 
     // Does the fused kernel need key-range partitioning?
-    let any_cta = set
-        .iter()
-        .any(|&n| node_class(n) == DependenceClass::Cta);
+    let any_cta = set.iter().any(|&n| node_class(n) == DependenceClass::Cta);
     let partition = if any_cta {
         PartitionSpec::KeyRange {
             pivot: 0,
@@ -136,7 +134,10 @@ pub fn weave(plan: &QueryPlan, set: &[NodeId], threads_per_cta: u32) -> Result<W
         };
         let slot = alloc(format!("in{idx}"), space, &mut slots);
         input_slot.insert(p, slot);
-        steps.push(Step::Load { input: idx, dst: slot });
+        steps.push(Step::Load {
+            input: idx,
+            dst: slot,
+        });
     }
 
     // Result slots per fused node. Sparsity tracking decides whether a
@@ -276,22 +277,27 @@ mod tests {
         assert_eq!(w.external_inputs, vec![t]);
         assert_eq!(w.stored_nodes, vec![b]);
         // Only the final compaction slot is shared.
-        let shared = w
-            .op
-            .slots()
-            .unwrap()
-            .iter()
-            .filter(|s| s.space == Space::Shared)
-            .count();
+        let shared =
+            w.op.slots()
+                .unwrap()
+                .iter()
+                .filter(|s| s.space == Space::Shared)
+                .count();
         assert_eq!(shared, 1);
         // One load, one store: the Figure 12 shape.
         let steps = w.op.steps().unwrap();
         assert_eq!(
-            steps.iter().filter(|s| matches!(s, Step::Load { .. })).count(),
+            steps
+                .iter()
+                .filter(|s| matches!(s, Step::Load { .. }))
+                .count(),
             1
         );
         assert_eq!(
-            steps.iter().filter(|s| matches!(s, Step::Compact { .. })).count(),
+            steps
+                .iter()
+                .filter(|s| matches!(s, Step::Compact { .. }))
+                .count(),
             1
         );
     }
@@ -370,13 +376,12 @@ mod tests {
         // The weaver deduplicates the shared input: one load feeds both
         // filters (the common-computation-elimination benefit of fusing
         // input-dependent operators).
-        let loads = w
-            .op
-            .steps()
-            .unwrap()
-            .iter()
-            .filter(|s| matches!(s, Step::Load { .. }))
-            .count();
+        let loads =
+            w.op.steps()
+                .unwrap()
+                .iter()
+                .filter(|s| matches!(s, Step::Load { .. }))
+                .count();
         assert_eq!(loads, 1);
     }
 

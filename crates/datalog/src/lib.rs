@@ -151,7 +151,11 @@ mod tests {
             .operator_nodes()
             .filter(|(_, op, _)| matches!(op, RaOp::Sort { .. }))
             .count();
-        assert!(sorts >= 1, "expected a SORT re-key:\n{}", translated.plan.describe());
+        assert!(
+            sorts >= 1,
+            "expected a SORT re-key:\n{}",
+            translated.plan.describe()
+        );
     }
 
     #[test]
@@ -208,11 +212,9 @@ mod tests {
             vec![1, 10, 2, 20, 3, 30],
         )
         .unwrap();
-        let banned = kw_relational::Relation::from_words(
-            kw_relational::Schema::uniform_u32(2),
-            vec![2, 0],
-        )
-        .unwrap();
+        let banned =
+            kw_relational::Relation::from_words(kw_relational::Schema::uniform_u32(2), vec![2, 0])
+                .unwrap();
         let mut dev = Device::new(DeviceConfig::fermi_c2050());
         let report = execute_plan(
             &translated.plan,
@@ -251,8 +253,7 @@ mod tests {
         assert!(compile_datalog(".input t(*u32).\nr(K) :- t(K).\n.output z.").is_err());
         // Constant too large for u32 attribute.
         assert!(
-            compile_datalog(".input t(*u32).\nr(K) :- t(K), K < 99999999999.\n.output r.")
-                .is_err()
+            compile_datalog(".input t(*u32).\nr(K) :- t(K), K < 99999999999.\n.output r.").is_err()
         );
     }
 

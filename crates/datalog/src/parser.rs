@@ -3,8 +3,8 @@
 use kw_relational::{AttrType, CmpOp};
 
 use crate::{
-    ArithAst, ConstVal, DatalogError, HeadTerm, InputDecl, Literal, Operand, Program, Result,
-    Rule, Spanned, Term, Token,
+    ArithAst, ConstVal, DatalogError, HeadTerm, InputDecl, Literal, Operand, Program, Result, Rule,
+    Spanned, Term, Token,
 };
 
 /// Parse a program from source text.
@@ -205,9 +205,7 @@ impl Parser {
                     match self.next() {
                         Token::Comma => continue,
                         Token::RParen => break,
-                        other => {
-                            return self.err(format!("expected ',' or ')', found '{other}'"))
-                        }
+                        other => return self.err(format!("expected ',' or ')', found '{other}'")),
                     }
                 }
                 Ok(Literal::Atom { name, terms })

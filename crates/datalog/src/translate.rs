@@ -386,9 +386,7 @@ fn compare_predicate(
         }
     };
     match (left, right) {
-        (Operand::Var(_), Operand::Var(_)) => {
-            Ok(Predicate::cmp_attr(pos(left)?, op, pos(right)?))
-        }
+        (Operand::Var(_), Operand::Var(_)) => Ok(Predicate::cmp_attr(pos(left)?, op, pos(right)?)),
         (Operand::Var(_), Operand::Const(c)) => {
             let a = pos(left)?;
             Ok(Predicate::cmp(a, op, typed_const(*c, schema.attr(a))?))
@@ -404,19 +402,17 @@ fn compare_predicate(
             };
             Ok(Predicate::cmp(a, flipped, typed_const(*c, schema.attr(a))?))
         }
-        (Operand::Const(_), Operand::Const(_)) => Err(DatalogError::semantic(
-            "comparison between two constants",
-        )),
+        (Operand::Const(_), Operand::Const(_)) => {
+            Err(DatalogError::semantic("comparison between two constants"))
+        }
     }
 }
 
 fn typed_const(c: ConstVal, ty: AttrType) -> Result<Value> {
     match (c, ty) {
-        (ConstVal::Int(v), AttrType::U32) => {
-            u32::try_from(v).map(Value::U32).map_err(|_| {
-                DatalogError::semantic(format!("constant {v} does not fit u32"))
-            })
-        }
+        (ConstVal::Int(v), AttrType::U32) => u32::try_from(v)
+            .map(Value::U32)
+            .map_err(|_| DatalogError::semantic(format!("constant {v} does not fit u32"))),
         (ConstVal::Int(v), AttrType::U64) => Ok(Value::U64(v)),
         (ConstVal::Int(v), AttrType::F32) => Ok(Value::F32(v as f32)),
         (ConstVal::Int(v), AttrType::Bool) => Ok(Value::Bool(v != 0)),
@@ -440,13 +436,9 @@ fn arith_to_expr(ast: &ArithAst, bindings: &Bindings) -> Result<Expr> {
             }
         }
         ArithAst::Const(ConstVal::Float(v)) => Expr::lit(*v),
-        ArithAst::Add(a, b) => arith_to_expr(a, bindings)?
-            .add(arith_to_expr(b, bindings)?),
-        ArithAst::Sub(a, b) => arith_to_expr(a, bindings)?
-            .sub(arith_to_expr(b, bindings)?),
-        ArithAst::Mul(a, b) => arith_to_expr(a, bindings)?
-            .mul(arith_to_expr(b, bindings)?),
-        ArithAst::Div(a, b) => arith_to_expr(a, bindings)?
-            .div(arith_to_expr(b, bindings)?),
+        ArithAst::Add(a, b) => arith_to_expr(a, bindings)?.add(arith_to_expr(b, bindings)?),
+        ArithAst::Sub(a, b) => arith_to_expr(a, bindings)?.sub(arith_to_expr(b, bindings)?),
+        ArithAst::Mul(a, b) => arith_to_expr(a, bindings)?.mul(arith_to_expr(b, bindings)?),
+        ArithAst::Div(a, b) => arith_to_expr(a, bindings)?.div(arith_to_expr(b, bindings)?),
     })
 }

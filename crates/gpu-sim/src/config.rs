@@ -207,7 +207,9 @@ mod tests {
 
     #[test]
     fn tiny_is_small() {
-        assert!(DeviceConfig::tiny().global_mem_bytes < DeviceConfig::fermi_c2050().global_mem_bytes);
+        assert!(
+            DeviceConfig::tiny().global_mem_bytes < DeviceConfig::fermi_c2050().global_mem_bytes
+        );
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! the single place where kernel launches and PCIe transfers are charged.
 
 use crate::{
-    kernel_cost, pcie_seconds, BufferId, DeviceConfig, Direction, Event, KernelCost,
-    KernelQuantities, KernelResources, LaunchDims, MemoryTracker, Result, SimError, SimStats,
+    kernel_cost, pcie_seconds, BufferId, DeviceConfig, Direction, Event, FaultConfig,
+    FaultInjector, FaultKind, KernelCost, KernelQuantities, KernelResources, LaunchDims,
+    MemoryTracker, Result, SimError, SimStats,
 };
 
 /// A simulated GPU.
@@ -33,6 +34,7 @@ pub struct Device {
     memory: MemoryTracker,
     stats: SimStats,
     timeline: Vec<Event>,
+    faults: Option<FaultInjector>,
 }
 
 impl Device {
@@ -44,7 +46,48 @@ impl Device {
             memory,
             stats: SimStats::default(),
             timeline: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Install a fault injector; subsequent transfers, launches and
+    /// allocations may fail with transient [`SimError`] variants.
+    pub fn inject_faults(&mut self, config: FaultConfig) {
+        self.faults = Some(FaultInjector::new(config));
+    }
+
+    /// Remove any installed fault injector.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// A fresh device with the same configuration, sharing no state — except
+    /// that if this device injects faults, the scratch device gets a derived
+    /// (deterministic, independent) fault stream at the same rates. Chunked
+    /// execution uses this so per-chunk work stays under fault pressure.
+    pub fn fork_scratch(&mut self) -> Device {
+        let mut scratch = Device::new(self.config.clone());
+        scratch.faults = self.faults.as_mut().map(FaultInjector::split);
+        scratch
+    }
+
+    /// Whether an injected fault fires for the next operation of `kind`;
+    /// when it does, the fault is recorded in the stats and timeline.
+    fn fault_fires(&mut self, kind: FaultKind, label: &str) -> bool {
+        let fires = self.faults.as_mut().is_some_and(|f| f.should_fault(kind));
+        if fires {
+            self.stats.faults_injected += 1;
+            self.timeline.push(Event::Fault {
+                kind,
+                label: label.to_string(),
+            });
+        }
+        fires
     }
 
     /// The device configuration.
@@ -77,9 +120,13 @@ impl Device {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::OutOfMemory`] past device capacity.
+    /// Returns [`SimError::OutOfMemory`] past device capacity, or
+    /// [`SimError::AllocFault`] when an injected transient fault fires.
     pub fn alloc(&mut self, bytes: u64, label: impl Into<String>) -> Result<BufferId> {
         let label = label.into();
+        if self.fault_fires(FaultKind::Alloc, &label) {
+            return Err(SimError::AllocFault { requested: bytes });
+        }
         let id = self.memory.alloc(bytes, label.clone())?;
         self.timeline.push(Event::Alloc { label, bytes });
         Ok(id)
@@ -112,14 +159,16 @@ impl Device {
         q: &KernelQuantities,
     ) -> Result<KernelCost> {
         let label = label.into();
-        let cost = kernel_cost(&self.config, dims, res, q).ok_or_else(|| {
-            SimError::InfeasibleLaunch {
+        if self.fault_fires(FaultKind::Launch, &label) {
+            return Err(SimError::LaunchFault { label });
+        }
+        let cost =
+            kernel_cost(&self.config, dims, res, q).ok_or_else(|| SimError::InfeasibleLaunch {
                 detail: format!(
                     "{label}: {} regs/thread, {} B shared/CTA, {} threads/CTA",
                     res.registers_per_thread, res.shared_per_cta, dims.threads_per_cta
                 ),
-            }
-        })?;
+            })?;
 
         self.stats.kernel_launches += 1;
         self.stats.launch_cycles += cost.launch_cycles;
@@ -147,7 +196,15 @@ impl Device {
     }
 
     /// Charge a PCIe transfer and record it. Returns the transfer seconds.
-    pub fn transfer(&mut self, direction: Direction, bytes: u64) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TransferFault`] when an injected transient fault
+    /// fires; the failed transfer is charged nothing.
+    pub fn transfer(&mut self, direction: Direction, bytes: u64) -> Result<f64> {
+        if self.fault_fires(FaultKind::Transfer, &format!("{direction:?}")) {
+            return Err(SimError::TransferFault { direction, bytes });
+        }
         let seconds = pcie_seconds(&self.config, bytes);
         match direction {
             Direction::HostToDevice => {
@@ -165,7 +222,13 @@ impl Device {
             bytes,
             seconds,
         });
-        seconds
+        Ok(seconds)
+    }
+
+    /// Charge simulated wall-clock time spent backing off before a retry.
+    pub fn charge_backoff(&mut self, seconds: f64) {
+        self.stats.backoff_seconds += seconds;
+        self.timeline.push(Event::Backoff { seconds });
     }
 
     /// Seconds of GPU computation so far.
@@ -178,11 +241,11 @@ impl Device {
         self.stats.pcie_seconds
     }
 
-    /// GPU + PCIe seconds (the paper's Figure 21 "overall" metric; the
-    /// simulator serializes computation and transfer as the paper's
-    /// baseline runtime does).
+    /// GPU + PCIe + backoff seconds (the paper's Figure 21 "overall" metric;
+    /// the simulator serializes computation and transfer as the paper's
+    /// baseline runtime does, and retry backoff waits on the same clock).
     pub fn total_seconds(&self) -> f64 {
-        self.gpu_seconds() + self.pcie_secs()
+        self.gpu_seconds() + self.pcie_secs() + self.stats.backoff_seconds
     }
 }
 
@@ -225,7 +288,12 @@ mod tests {
             shared_per_cta: 0,
         };
         let err = d
-            .launch("bad", LaunchDims::new(1, 256), res, &KernelQuantities::default())
+            .launch(
+                "bad",
+                LaunchDims::new(1, 256),
+                res,
+                &KernelQuantities::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, SimError::InfeasibleLaunch { .. }));
         assert_eq!(d.stats().kernel_launches, 0);
@@ -234,9 +302,9 @@ mod tests {
     #[test]
     fn transfer_updates_stats() {
         let mut d = device();
-        let t = d.transfer(Direction::HostToDevice, 1 << 30);
+        let t = d.transfer(Direction::HostToDevice, 1 << 30).unwrap();
         assert!(t > 0.1);
-        d.transfer(Direction::DeviceToHost, 1 << 20);
+        d.transfer(Direction::DeviceToHost, 1 << 20).unwrap();
         assert_eq!(d.stats().h2d_transfers, 1);
         assert_eq!(d.stats().d2h_transfers, 1);
         assert!((d.pcie_secs() - d.stats().pcie_seconds).abs() < 1e-12);
@@ -256,10 +324,85 @@ mod tests {
     fn reset_stats_preserves_memory() {
         let mut d = device();
         let _b = d.alloc(1024, "x").unwrap();
-        d.transfer(Direction::HostToDevice, 100);
+        d.transfer(Direction::HostToDevice, 100).unwrap();
         d.reset_stats();
         assert_eq!(d.stats().pcie_bytes(), 0);
         assert!(d.timeline().is_empty());
         assert_eq!(d.memory().in_use(), 1024);
+    }
+
+    #[test]
+    fn injected_transfer_fault_surfaces_and_charges_nothing() {
+        let mut d = device();
+        d.inject_faults(crate::FaultConfig::scripted(vec![crate::ScriptedFault {
+            kind: crate::FaultKind::Transfer,
+            attempt: 0,
+        }]));
+        let err = d.transfer(Direction::HostToDevice, 1 << 20).unwrap_err();
+        assert!(matches!(err, SimError::TransferFault { bytes, .. } if bytes == 1 << 20));
+        assert!(err.is_transient());
+        assert_eq!(d.stats().h2d_transfers, 0);
+        assert_eq!(d.stats().faults_injected, 1);
+        assert!(matches!(
+            d.timeline()[0],
+            Event::Fault {
+                kind: crate::FaultKind::Transfer,
+                ..
+            }
+        ));
+        // The retry (attempt 1) succeeds.
+        assert!(d.transfer(Direction::HostToDevice, 1 << 20).is_ok());
+    }
+
+    #[test]
+    fn injected_launch_and_alloc_faults_surface() {
+        let mut d = device();
+        d.inject_faults(crate::FaultConfig::scripted(vec![
+            crate::ScriptedFault {
+                kind: crate::FaultKind::Launch,
+                attempt: 0,
+            },
+            crate::ScriptedFault {
+                kind: crate::FaultKind::Alloc,
+                attempt: 0,
+            },
+        ]));
+        let res = KernelResources {
+            registers_per_thread: 20,
+            shared_per_cta: 0,
+        };
+        let err = d
+            .launch("k", LaunchDims::new(64, 256), res, &quantities(1024))
+            .unwrap_err();
+        assert!(matches!(err, SimError::LaunchFault { .. }));
+        assert_eq!(d.stats().kernel_launches, 0);
+        let err = d.alloc(1024, "buf").unwrap_err();
+        assert!(matches!(err, SimError::AllocFault { requested: 1024 }));
+        assert_eq!(d.memory().in_use(), 0);
+        // Retries of both succeed and charge normally.
+        d.launch("k", LaunchDims::new(64, 256), res, &quantities(1024))
+            .unwrap();
+        d.alloc(1024, "buf").unwrap();
+        assert_eq!(d.stats().faults_injected, 2);
+    }
+
+    #[test]
+    fn backoff_charges_total_seconds() {
+        let mut d = device();
+        let before = d.total_seconds();
+        d.charge_backoff(0.125);
+        assert!((d.total_seconds() - before - 0.125).abs() < 1e-12);
+        assert!(matches!(d.timeline()[0], Event::Backoff { .. }));
+    }
+
+    #[test]
+    fn fork_scratch_propagates_fault_rates() {
+        let mut d = device();
+        d.inject_faults(crate::FaultConfig::uniform(5, 1.0));
+        let mut scratch = d.fork_scratch();
+        assert!(scratch.fault_injector().is_some());
+        assert!(scratch.transfer(Direction::HostToDevice, 8).is_err());
+        let mut plain = device();
+        assert!(plain.fork_scratch().fault_injector().is_none());
     }
 }

@@ -1,8 +1,16 @@
 //! Error type for the GPU simulator.
 
+use crate::Direction;
 use std::fmt;
 
 /// Errors produced by the simulated device.
+///
+/// The injected-fault variants ([`SimError::TransferFault`],
+/// [`SimError::LaunchFault`], [`SimError::AllocFault`]) are **transient**:
+/// the same operation may succeed if retried. [`SimError::OutOfMemory`] is a
+/// capacity miss — not transient, but recoverable by re-admitting the plan in
+/// a cheaper execution mode. The remaining variants are program bugs and are
+/// fatal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// A global-memory allocation exceeded device capacity.
@@ -22,17 +30,71 @@ pub enum SimError {
         /// Human-readable description of the launch.
         detail: String,
     },
+    /// An injected transient PCIe transfer failure.
+    TransferFault {
+        /// Direction of the failed transfer.
+        direction: Direction,
+        /// Bytes that were being moved.
+        bytes: u64,
+    },
+    /// An injected transient kernel-launch failure.
+    LaunchFault {
+        /// Label of the kernel whose launch failed.
+        label: String,
+    },
+    /// An injected transient allocation failure (the device had room; the
+    /// allocation failed for a non-capacity reason and may succeed retried).
+    AllocFault {
+        /// Bytes requested.
+        requested: u64,
+    },
+}
+
+impl SimError {
+    /// Whether retrying the same operation can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::TransferFault { .. }
+                | SimError::LaunchFault { .. }
+                | SimError::AllocFault { .. }
+        )
+    }
+
+    /// Whether this is a capacity miss, recoverable by degrading to an
+    /// execution mode with a smaller device footprint.
+    pub fn is_capacity(&self) -> bool {
+        matches!(self, SimError::OutOfMemory { .. })
+    }
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::OutOfMemory { requested, free } => {
-                write!(f, "device out of memory: requested {requested} bytes, {free} free")
+                write!(
+                    f,
+                    "device out of memory: requested {requested} bytes, {free} free"
+                )
             }
             SimError::InvalidBuffer { id } => write!(f, "invalid device buffer id {id}"),
             SimError::InfeasibleLaunch { detail } => {
                 write!(f, "kernel launch fits no CTA on an SM: {detail}")
+            }
+            SimError::TransferFault { direction, bytes } => {
+                write!(
+                    f,
+                    "transient PCIe fault: {direction:?} transfer of {bytes} bytes failed"
+                )
+            }
+            SimError::LaunchFault { label } => {
+                write!(
+                    f,
+                    "transient launch fault: kernel {label:?} rejected by driver"
+                )
+            }
+            SimError::AllocFault { requested } => {
+                write!(f, "transient allocation fault: {requested} bytes")
             }
         }
     }
@@ -50,8 +112,33 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!SimError::InvalidBuffer { id: 3 }.to_string().is_empty());
-        assert!(SimError::OutOfMemory { requested: 10, free: 5 }
-            .to_string()
-            .contains("10"));
+        assert!(SimError::OutOfMemory {
+            requested: 10,
+            free: 5
+        }
+        .to_string()
+        .contains("10"));
+    }
+
+    #[test]
+    fn transient_taxonomy() {
+        assert!(SimError::TransferFault {
+            direction: Direction::HostToDevice,
+            bytes: 8,
+        }
+        .is_transient());
+        assert!(SimError::LaunchFault { label: "k".into() }.is_transient());
+        assert!(SimError::AllocFault { requested: 8 }.is_transient());
+        let oom = SimError::OutOfMemory {
+            requested: 10,
+            free: 5,
+        };
+        assert!(!oom.is_transient());
+        assert!(oom.is_capacity());
+        assert!(!SimError::InvalidBuffer { id: 1 }.is_transient());
+        assert!(!SimError::InfeasibleLaunch {
+            detail: String::new()
+        }
+        .is_capacity());
     }
 }

@@ -32,6 +32,7 @@ mod config;
 mod cost;
 mod device;
 mod error;
+mod fault;
 mod memory;
 mod occupancy;
 mod pcie;
@@ -42,6 +43,7 @@ pub use config::DeviceConfig;
 pub use cost::{kernel_cost, KernelCost, KernelQuantities, KernelResources, LaunchDims};
 pub use device::Device;
 pub use error::{Result, SimError};
+pub use fault::{FaultConfig, FaultInjector, FaultKind, ScriptedFault};
 pub use memory::{BufferId, MemoryTracker};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use pcie::{pcie_seconds, Direction};

@@ -61,8 +61,10 @@ pub fn occupancy(
     // Warp limit.
     let by_warps = cfg.max_warps_per_sm / warps_per_cta.max(1);
     // Register limit: registers are allocated per warp at a granularity.
-    let regs_per_warp =
-        round_up(registers_per_thread.max(1) * cfg.warp_size, cfg.register_granularity);
+    let regs_per_warp = round_up(
+        registers_per_thread.max(1) * cfg.warp_size,
+        cfg.register_granularity,
+    );
     let by_regs = if registers_per_thread > cfg.max_registers_per_thread {
         0
     } else {

@@ -43,6 +43,10 @@ pub struct SimStats {
     pub d2h_bytes: u64,
     /// Seconds spent on PCIe transfers.
     pub pcie_seconds: f64,
+    /// Faults injected by the fault injector (all kinds).
+    pub faults_injected: u64,
+    /// Seconds spent in retry backoff, charged to the simulated clock.
+    pub backoff_seconds: f64,
 }
 
 impl SimStats {
@@ -76,6 +80,8 @@ impl SimStats {
         self.d2h_transfers += other.d2h_transfers;
         self.d2h_bytes += other.d2h_bytes;
         self.pcie_seconds += other.pcie_seconds;
+        self.faults_injected += other.faults_injected;
+        self.backoff_seconds += other.backoff_seconds;
     }
 }
 

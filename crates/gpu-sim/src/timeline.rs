@@ -45,6 +45,19 @@ pub enum Event {
         /// Bytes released.
         bytes: u64,
     },
+    /// An injected fault (see [`crate::FaultInjector`]). The faulted
+    /// operation was charged nothing; the fault itself is the record.
+    Fault {
+        /// The operation kind that faulted.
+        kind: crate::FaultKind,
+        /// What faulted (kernel/buffer label, or transfer direction).
+        label: String,
+    },
+    /// Simulated wall-clock time spent backing off before a retry.
+    Backoff {
+        /// Seconds charged to the simulated clock.
+        seconds: f64,
+    },
 }
 
 impl Event {

@@ -42,9 +42,7 @@ impl InferredSchemas {
 /// [`IrError::Relational`] when a step's schemas are incompatible.
 pub fn infer_schemas(op: &GpuOperator) -> Result<InferredSchemas> {
     match &op.body {
-        OperatorBody::Streaming { slots, steps, .. } => {
-            infer_streaming(op, slots.len(), steps)
-        }
+        OperatorBody::Streaming { slots, steps, .. } => infer_streaming(op, slots.len(), steps),
         OperatorBody::GlobalSort { attrs } => {
             let input = single_input(op)?;
             let schema = sorted_schema(input, attrs)?;

@@ -156,7 +156,15 @@ fn execute_streaming(
         let mut slots: Vec<Option<RtSlot>> = vec![None; slot_count];
         for step in steps {
             exec_step(
-                op, step, cta, &ranges, inputs, &mut slots, &mut q, &mut out_words, opt,
+                op,
+                step,
+                cta,
+                &ranges,
+                inputs,
+                &mut slots,
+                &mut q,
+                &mut out_words,
+                opt,
             )?;
         }
     }
@@ -399,8 +407,8 @@ fn exec_step(
             charge_read(q, space(*left), &l);
             charge_read(q, space(*right), &r);
             let rel = ops::join(&l.rel, &r.rel, *key_len)?;
-            q.alu_ops += (l.rel.len() + r.rel.len()) as u64 * *key_len as u64
-                + 2 * rel.len() as u64;
+            q.alu_ops +=
+                (l.rel.len() + r.rel.len()) as u64 * *key_len as u64 + 2 * rel.len() as u64;
             let lanes = rel.len() as u64;
             charge_write(q, space(*dst), &rel, lanes);
             slots[dst.0] = Some(RtSlot { rel, lanes });
@@ -786,7 +794,12 @@ mod tests {
         let mut r = gen::rng(5);
         use rand::Rng;
         let words: Vec<u64> = (0..3000)
-            .flat_map(|_| vec![u64::from(r.gen_range(0..10u32)), u64::from(r.gen_range(0..100u32))])
+            .flat_map(|_| {
+                vec![
+                    u64::from(r.gen_range(0..10u32)),
+                    u64::from(r.gen_range(0..100u32)),
+                ]
+            })
             .collect();
         let input = Relation::from_words(schema.clone(), words).unwrap();
         let op = GpuOperator::global_aggregate(

@@ -7,8 +7,8 @@
 //! *global* bodies that cannot be expressed as independent CTA streams —
 //! which is precisely why the paper cannot fuse across them.
 
-use kw_relational::Schema;
 use kw_relational::ops::AggFn;
+use kw_relational::Schema;
 
 use crate::{SlotDecl, SlotId, Space, Step};
 

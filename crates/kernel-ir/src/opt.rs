@@ -124,9 +124,7 @@ pub fn fold_constants(op: &mut GpuOperator) -> Result<usize> {
             steps
                 .iter()
                 .map(|s| match s {
-                    Step::Compute { src, .. } => {
-                        inferred.slots.get(src.0).and_then(|x| x.clone())
-                    }
+                    Step::Compute { src, .. } => inferred.slots.get(src.0).and_then(|x| x.clone()),
                     _ => None,
                 })
                 .collect()
@@ -195,7 +193,10 @@ pub fn combine_filters(op: &mut GpuOperator) -> usize {
         else {
             unreachable!()
         };
-        let Step::Filter { src: a, pred: p1, .. } = steps[i].clone() else {
+        let Step::Filter {
+            src: a, pred: p1, ..
+        } = steps[i].clone()
+        else {
             unreachable!()
         };
         steps[i] = Step::Filter {
@@ -237,8 +238,20 @@ pub fn eliminate_common_steps(op: &mut GpuOperator) -> usize {
                 let mut a = steps[i].clone();
                 let mut b = steps[j].clone();
                 // Compare with destinations normalized.
-                a.map_slots(|s| if s == di { crate::SlotId(usize::MAX) } else { s });
-                b.map_slots(|s| if s == dj { crate::SlotId(usize::MAX) } else { s });
+                a.map_slots(|s| {
+                    if s == di {
+                        crate::SlotId(usize::MAX)
+                    } else {
+                        s
+                    }
+                });
+                b.map_slots(|s| {
+                    if s == dj {
+                        crate::SlotId(usize::MAX)
+                    } else {
+                        s
+                    }
+                });
                 if a == b {
                     action = Some(
                         (dj.0, di.0), // rewrite dj -> di
@@ -252,13 +265,7 @@ pub fn eliminate_common_steps(op: &mut GpuOperator) -> usize {
         match action {
             Some((from, to)) => {
                 for s in steps_mut(op).iter_mut() {
-                    s.map_slots(|x| {
-                        if x.0 == from {
-                            crate::SlotId(to)
-                        } else {
-                            x
-                        }
-                    });
+                    s.map_slots(|x| if x.0 == from { crate::SlotId(to) } else { x });
                 }
             }
             None => break,

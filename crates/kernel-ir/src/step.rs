@@ -299,7 +299,9 @@ impl fmt::Display for Step {
             Step::Project {
                 src, attrs, dst, ..
             } => write!(f, "{dst} = project {src} {attrs:?}"),
-            Step::Compute { src, exprs, dst, .. } => {
+            Step::Compute {
+                src, exprs, dst, ..
+            } => {
                 write!(f, "{dst} = compute {src} [")?;
                 for (i, e) in exprs.iter().enumerate() {
                     if i > 0 {

@@ -12,7 +12,10 @@
 //! * every declared output is stored exactly once;
 //! * the partition spec is consistent with the inputs.
 
-use crate::{infer_schemas, GpuOperator, InferredSchemas, IrError, OperatorBody, PartitionSpec, Result, Space, Step};
+use crate::{
+    infer_schemas, GpuOperator, InferredSchemas, IrError, OperatorBody, PartitionSpec, Result,
+    Space, Step,
+};
 
 /// Validate `op`, returning its inferred schemas on success.
 ///

@@ -12,9 +12,7 @@ fn device() -> Device {
 
 /// A relation of n 16-byte tuples with keys 0..n and attr1 = key % 2.
 fn half_relation(n: u64) -> Relation {
-    let words: Vec<u64> = (0..n)
-        .flat_map(|k| vec![k, k % 2, 7, 9])
-        .collect();
+    let words: Vec<u64> = (0..n).flat_map(|k| vec![k, k % 2, 7, 9]).collect();
     Relation::from_words(Schema::uniform_u32(4), words).unwrap()
 }
 
@@ -184,7 +182,9 @@ fn pcie_accounting() {
     let cfg = DeviceConfig::fermi_c2050();
     let mut dev = Device::new(cfg.clone());
     let bytes = 1u64 << 26; // 64 MiB
-    let t = dev.transfer(kw_gpu_sim::Direction::HostToDevice, bytes);
+    let t = dev
+        .transfer(kw_gpu_sim::Direction::HostToDevice, bytes)
+        .unwrap();
     let expected = cfg.pcie_latency_us * 1e-6 + bytes as f64 / (cfg.pcie_bandwidth_gbs * 1e9);
     assert!((t - expected).abs() < 1e-12);
     assert_eq!(dev.stats().h2d_bytes, bytes);

@@ -64,8 +64,11 @@ fn mixed_type_schema_through_pipeline() {
         })
         .collect();
     let input = Relation::from_rows(schema.clone(), &rows).unwrap();
-    let pred = Predicate::cmp(1, CmpOp::Lt, Value::F32(300.0))
-        .and(Predicate::cmp(3, CmpOp::Eq, Value::Bool(true)));
+    let pred = Predicate::cmp(1, CmpOp::Lt, Value::F32(300.0)).and(Predicate::cmp(
+        3,
+        CmpOp::Eq,
+        Value::Bool(true),
+    ));
     let op = select_op(schema, pred.clone());
     let mut dev = device();
     let result = execute(&op, &[&input], &mut dev, OptLevel::O3).unwrap();

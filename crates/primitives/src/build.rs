@@ -106,12 +106,12 @@ pub fn partition_spec(op: &RaOp, inputs: &[Schema]) -> PartitionSpec {
     match op {
         RaOp::Select { .. } | RaOp::Project { .. } | RaOp::Map { .. } => PartitionSpec::Even,
         RaOp::Product => PartitionSpec::ReplicateRight,
-        RaOp::Join { key_len }
-        | RaOp::SemiJoin { key_len }
-        | RaOp::AntiJoin { key_len } => PartitionSpec::KeyRange {
-            pivot: 0,
-            key_len: *key_len,
-        },
+        RaOp::Join { key_len } | RaOp::SemiJoin { key_len } | RaOp::AntiJoin { key_len } => {
+            PartitionSpec::KeyRange {
+                pivot: 0,
+                key_len: *key_len,
+            }
+        }
         RaOp::Union | RaOp::Intersect | RaOp::Difference | RaOp::Unique => {
             PartitionSpec::KeyRange {
                 pivot: 0,
@@ -151,7 +151,11 @@ pub fn build_unfused(
 
     match op {
         RaOp::Sort { attrs } => {
-            return Ok(GpuOperator::global_sort(label, inputs[0].clone(), attrs.clone()));
+            return Ok(GpuOperator::global_sort(
+                label,
+                inputs[0].clone(),
+                attrs.clone(),
+            ));
         }
         RaOp::Aggregate { group_by, aggs } => {
             return Ok(GpuOperator::global_aggregate(

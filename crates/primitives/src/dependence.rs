@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn binary_is_cta() {
-        assert_eq!(consumer_class(&RaOp::Join { key_len: 1 }), DependenceClass::Cta);
+        assert_eq!(
+            consumer_class(&RaOp::Join { key_len: 1 }),
+            DependenceClass::Cta
+        );
         assert_eq!(consumer_class(&RaOp::Intersect), DependenceClass::Cta);
     }
 

@@ -202,10 +202,7 @@ impl RaOp {
             RaOp::Union | RaOp::Intersect | RaOp::Difference => {
                 if inputs[0] != inputs[1] {
                     return Err(RelationalError::SchemaMismatch {
-                        detail: format!(
-                            "set operation on {} and {}",
-                            inputs[0], inputs[1]
-                        ),
+                        detail: format!("set operation on {} and {}", inputs[0], inputs[1]),
                     });
                 }
                 Ok(inputs[0].clone())
@@ -305,7 +302,13 @@ mod tests {
 
     #[test]
     fn arities() {
-        assert_eq!(RaOp::Select { pred: Predicate::True }.arity(), 1);
+        assert_eq!(
+            RaOp::Select {
+                pred: Predicate::True
+            }
+            .arity(),
+            1
+        );
         assert_eq!(RaOp::Join { key_len: 1 }.arity(), 2);
         assert_eq!(RaOp::Union.arity(), 2);
     }

@@ -61,7 +61,10 @@ impl fmt::Display for RelationalError {
                 write!(f, "schema mismatch: {detail}")
             }
             RelationalError::MalformedData { words, arity } => {
-                write!(f, "raw data of {words} words is not a multiple of arity {arity}")
+                write!(
+                    f,
+                    "raw data of {words} words is not a multiple of arity {arity}"
+                )
             }
             RelationalError::NotSorted { index } => {
                 write!(f, "tuple at index {index} violates key sort order")

@@ -19,12 +19,7 @@ pub fn rng(seed: u64) -> StdRng {
 ///
 /// Keys are drawn from `0..key_range` so duplicate density is controllable;
 /// non-key attributes are uniform over the full attribute domain.
-pub fn random_relation(
-    schema: &Schema,
-    n: usize,
-    key_range: u64,
-    rng: &mut impl Rng,
-) -> Relation {
+pub fn random_relation(schema: &Schema, n: usize, key_range: u64, rng: &mut impl Rng) -> Relation {
     let mut words = Vec::with_capacity(n * schema.arity());
     for _ in 0..n {
         for (i, &ty) in schema.attrs().iter().enumerate() {
@@ -79,12 +74,7 @@ pub fn selectivity_threshold(selectivity: f64) -> Value {
 
 /// A pair of join inputs of `n` tuples each where a fraction `match_rate` of
 /// left keys also appear on the right. Keys are unique per side.
-pub fn join_inputs(
-    n: usize,
-    arity: usize,
-    match_rate: f64,
-    seed: u64,
-) -> (Relation, Relation) {
+pub fn join_inputs(n: usize, arity: usize, match_rate: f64, seed: u64) -> (Relation, Relation) {
     let schema = Schema::uniform_u32(arity.max(2));
     let mut r = rng(seed);
     let matched = ((n as f64) * match_rate.clamp(0.0, 1.0)).round() as usize;
@@ -158,10 +148,7 @@ mod tests {
             let p = Predicate::cmp(1, CmpOp::Lt, selectivity_threshold(s));
             let out = ops::select(&r, &p).unwrap();
             let actual = out.len() as f64 / n as f64;
-            assert!(
-                (actual - s).abs() < 0.02,
-                "selectivity {s}: got {actual}"
-            );
+            assert!((actual - s).abs() < 0.02, "selectivity {s}: got {actual}");
         }
     }
 

@@ -8,7 +8,7 @@
 use std::cmp::Ordering;
 
 use crate::relation::compare_keys;
-use crate::{ops::sort_on, AttrType, RelationalError, Relation, Result, Schema, Value};
+use crate::{ops::sort_on, AttrType, Relation, RelationalError, Result, Schema, Value};
 
 /// An aggregation function over one attribute of each group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,7 +122,10 @@ pub fn aggregate(input: &Relation, group_by: &[usize], aggs: &[AggFn]) -> Result
             arity: 0,
         });
     }
-    let out_schema = Schema::new(out_attrs, group_by.len().max(if aggs.is_empty() { 1 } else { 0 }));
+    let out_schema = Schema::new(
+        out_attrs,
+        group_by.len().max(if aggs.is_empty() { 1 } else { 0 }),
+    );
 
     let g = group_by.len();
     let mut out = Vec::new();
@@ -227,11 +230,8 @@ mod tests {
 
     #[test]
     fn grouped_sum_count() {
-        let r = Relation::from_words(
-            Schema::uniform_u32(2),
-            vec![1, 10, 1, 20, 2, 5, 2, 6, 2, 7],
-        )
-        .unwrap();
+        let r = Relation::from_words(Schema::uniform_u32(2), vec![1, 10, 1, 20, 2, 5, 2, 6, 2, 7])
+            .unwrap();
         let out = aggregate(&r, &[0], &[AggFn::Sum(1), AggFn::Count]).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out.tuple(0), &[1, 30, 2]);

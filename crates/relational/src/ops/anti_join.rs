@@ -6,7 +6,7 @@
 
 use std::cmp::Ordering;
 
-use crate::{compare_words, RelationalError, Relation, Result};
+use crate::{compare_words, Relation, RelationalError, Result};
 
 /// Tuples of `left` whose first `key_len` attributes match no tuple of
 /// `right`.
@@ -56,10 +56,7 @@ pub fn semi_join(left: &Relation, right: &Relation, key_len: usize) -> Result<Re
 }
 
 fn check_keys(left: &Relation, right: &Relation, key_len: usize) -> Result<()> {
-    if key_len == 0
-        || key_len > left.schema().key_arity()
-        || key_len > right.schema().key_arity()
-    {
+    if key_len == 0 || key_len > left.schema().key_arity() || key_len > right.schema().key_arity() {
         return Err(RelationalError::BadKeyArity {
             key_arity: key_len,
             arity: left.schema().key_arity().min(right.schema().key_arity()),
@@ -85,9 +82,7 @@ fn has_match(right: &Relation, probe: &[u64], left: &Relation, key_len: usize) -
         return false;
     }
     let cand = right.tuple(lo);
-    (0..key_len).all(|k| {
-        compare_words(cand[k], probe[k], left.schema().attr(k)) == Ordering::Equal
-    })
+    (0..key_len).all(|k| compare_words(cand[k], probe[k], left.schema().attr(k)) == Ordering::Equal)
 }
 
 #[cfg(test)]
@@ -135,11 +130,7 @@ mod tests {
     #[test]
     fn key_type_mismatch_rejected() {
         let l = rel2(vec![1, 10]);
-        let r = Relation::from_words(
-            Schema::new(vec![crate::AttrType::U64], 1),
-            vec![1],
-        )
-        .unwrap();
+        let r = Relation::from_words(Schema::new(vec![crate::AttrType::U64], 1), vec![1]).unwrap();
         assert!(anti_join(&l, &r, 1).is_err());
         assert!(semi_join(&l, &r, 1).is_err());
     }

@@ -2,7 +2,7 @@
 
 use std::cmp::Ordering;
 
-use crate::{compare_words, RelationalError, Relation, Result, Schema};
+use crate::{compare_words, Relation, RelationalError, Result, Schema};
 
 /// Join `left` and `right` on their first `key_len` attributes.
 ///

@@ -5,7 +5,7 @@
 //! (micro-benchmark pattern (e)). Each output attribute is an [`Expr`];
 //! `Expr::Attr(i)` passes an input attribute through unchanged.
 
-use crate::{Expr, RelationalError, Relation, Result, Schema};
+use crate::{Expr, Relation, RelationalError, Result, Schema};
 
 /// Produce a relation whose attributes are `outputs` evaluated per tuple of
 /// `input`; the first `key_arity` outputs form the new key.
@@ -56,11 +56,7 @@ mod tests {
         let s = Schema::new(vec![AttrType::F32, AttrType::F32, AttrType::F32], 0);
         let r = Relation::from_rows(
             s,
-            &[vec![
-                Value::F32(100.0),
-                Value::F32(0.1),
-                Value::F32(0.05),
-            ]],
+            &[vec![Value::F32(100.0), Value::F32(0.1), Value::F32(0.05)]],
         )
         .unwrap();
         let e = Expr::attr(0)

@@ -7,7 +7,7 @@
 use std::cmp::Ordering;
 
 use crate::relation::compare_keys;
-use crate::{RelationalError, Relation, Result};
+use crate::{Relation, RelationalError, Result};
 
 fn check_schemas(left: &Relation, right: &Relation) -> Result<()> {
     if left.schema() != right.schema() {
@@ -53,7 +53,11 @@ pub fn union(left: &Relation, right: &Relation) -> Result<Relation> {
         } else {
             compare_keys(&schema, left.tuple(i), right.tuple(j)) != Ordering::Greater
         };
-        let t = if take_left { left.tuple(i) } else { right.tuple(j) };
+        let t = if take_left {
+            left.tuple(i)
+        } else {
+            right.tuple(j)
+        };
         // Deduplicate by key against the last emitted tuple.
         let dup = out
             .len()
@@ -130,10 +134,7 @@ mod tests {
         let x = rel(vec![2, 11, 3, 10, 4, 10]);
         let y = rel(vec![0, 10, 2, 11]);
         let out = union(&x, &y).unwrap();
-        assert_eq!(
-            out.words(),
-            &[0, 10, 2, 11, 3, 10, 4, 10]
-        );
+        assert_eq!(out.words(), &[0, 10, 2, 11, 3, 10, 4, 10]);
     }
 
     #[test]

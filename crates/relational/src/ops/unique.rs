@@ -39,8 +39,7 @@ mod tests {
 
     #[test]
     fn removes_exact_duplicates_only() {
-        let r =
-            Relation::from_words(Schema::uniform_u32(2), vec![1, 10, 1, 10, 1, 11]).unwrap();
+        let r = Relation::from_words(Schema::uniform_u32(2), vec![1, 10, 1, 10, 1, 11]).unwrap();
         let out = unique(&r).unwrap();
         assert_eq!(out.len(), 2);
     }

@@ -355,8 +355,11 @@ mod tests {
 
     #[test]
     fn alu_ops_counts() {
-        let p = Predicate::cmp(0, CmpOp::Eq, Value::U32(0))
-            .and(Predicate::cmp(1, CmpOp::Eq, Value::U32(0)));
+        let p = Predicate::cmp(0, CmpOp::Eq, Value::U32(0)).and(Predicate::cmp(
+            1,
+            CmpOp::Eq,
+            Value::U32(0),
+        ));
         assert_eq!(p.alu_ops(), 3);
         assert_eq!(Predicate::True.alu_ops(), 0);
     }
@@ -372,7 +375,8 @@ mod tests {
 
     #[test]
     fn max_attr() {
-        let p = Predicate::cmp(1, CmpOp::Eq, Value::U32(0)).and(Predicate::cmp_attr(0, CmpOp::Lt, 2));
+        let p =
+            Predicate::cmp(1, CmpOp::Eq, Value::U32(0)).and(Predicate::cmp_attr(0, CmpOp::Lt, 2));
         assert_eq!(p.max_attr(), Some(2));
         assert_eq!(Predicate::True.max_attr(), None);
     }

@@ -206,8 +206,9 @@ impl Relation {
 
     /// First index (if any) violating key sort order.
     fn first_unsorted(&self) -> Option<usize> {
-        (1..self.len())
-            .find(|&i| compare_keys(&self.schema, self.tuple(i - 1), self.tuple(i)) == Ordering::Greater)
+        (1..self.len()).find(|&i| {
+            compare_keys(&self.schema, self.tuple(i - 1), self.tuple(i)) == Ordering::Greater
+        })
     }
 
     /// Whether the key-sorted invariant holds (always true for relations

@@ -13,8 +13,8 @@ use rand::Rng;
 use kw_relational::{gen::rng, Relation, Value};
 
 use crate::schema::{
-    customer_schema, lineitem_schema, nation_schema, orders_schema, supplier_schema,
-    NATION_COUNT, SEGMENT_COUNT,
+    customer_schema, lineitem_schema, nation_schema, orders_schema, supplier_schema, NATION_COUNT,
+    SEGMENT_COUNT,
 };
 
 /// Day-number domain for dates.
@@ -96,7 +96,11 @@ pub fn generate(scale: f64, seed: u64) -> TpchDb {
         let mut words = Vec::new();
         for k in 0..n_orders as u32 {
             words.push(u64::from(k));
-            let status = if r.gen_bool(0.49) { 0u32 } else { 1 + r.gen_range(0..2u32) };
+            let status = if r.gen_bool(0.49) {
+                0u32
+            } else {
+                1 + r.gen_range(0..2u32)
+            };
             words.push(u64::from(status));
             words.push(u64::from(r.gen_range(0..n_customer as u32))); // custkey
             words.push(u64::from(r.gen_range(DATE_MIN..DATE_MAX))); // orderdate

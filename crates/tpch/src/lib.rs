@@ -40,8 +40,8 @@ use kw_gpu_sim::Device;
 use kw_relational::Relation;
 
 pub use gen::{generate, TpchDb, DATE_MAX, DATE_MIN, Q1_SHIPDATE_THRESHOLD};
-pub use patterns::{pattern_a, pattern_b, pattern_c, pattern_d, pattern_e, Pattern};
 pub use more_queries::{q3, q3_plan, q6, q6_plan, Q3_DATE, Q6_DATE_START};
+pub use patterns::{pattern_a, pattern_b, pattern_c, pattern_d, pattern_e, Pattern};
 pub use queries::{q1, q1_plan, q21, q21_plan, Q21_NATION};
 pub use schema::STATUS_F;
 
@@ -72,10 +72,7 @@ impl Workload {
 
     /// Borrowed bindings for [`execute_plan`].
     pub fn bindings(&self) -> Vec<(&str, &Relation)> {
-        self.data
-            .iter()
-            .map(|(n, r)| (n.as_str(), r))
-            .collect()
+        self.data.iter().map(|(n, r)| (n.as_str(), r)).collect()
     }
 
     /// Total bytes of the input relations.

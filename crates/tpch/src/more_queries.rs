@@ -136,7 +136,12 @@ pub fn q3_plan(db: TpchDb) -> Workload {
         )
         .expect("q3 order select");
     let by_cust = plan
-        .add_op(RaOp::Sort { attrs: vec![o::CUSTKEY] }, &[recent])
+        .add_op(
+            RaOp::Sort {
+                attrs: vec![o::CUSTKEY],
+            },
+            &[recent],
+        )
         .expect("q3 sort by custkey");
     // Layout after sort: (ck, ok, status, odate).
 
@@ -299,9 +304,7 @@ mod tests {
         let qualifying_orders: std::collections::BTreeSet<u64> = db
             .orders
             .iter()
-            .filter(|t| {
-                (t[o::ORDERDATE] as u32) < Q3_DATE && building.contains(&t[o::CUSTKEY])
-            })
+            .filter(|t| (t[o::ORDERDATE] as u32) < Q3_DATE && building.contains(&t[o::CUSTKEY]))
             .map(|t| t[o::ORDERKEY])
             .collect();
         let mut expected: BTreeMap<u64, f64> = BTreeMap::new();

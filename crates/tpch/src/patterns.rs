@@ -157,8 +157,12 @@ pub fn pattern_b(n: usize, seed: u64) -> Workload {
     let nx = plan.add_input("x", x.schema().clone());
     let ny = plan.add_input("y", y.schema().clone());
     let nz = plan.add_input("z", z.schema().clone());
-    let j1 = plan.add_op(RaOp::Join { key_len: 1 }, &[nx, ny]).expect("join 1");
-    let j2 = plan.add_op(RaOp::Join { key_len: 1 }, &[j1, nz]).expect("join 2");
+    let j1 = plan
+        .add_op(RaOp::Join { key_len: 1 }, &[nx, ny])
+        .expect("join 1");
+    let j2 = plan
+        .add_op(RaOp::Join { key_len: 1 }, &[j1, nz])
+        .expect("join 2");
     plan.mark_output(j2);
     Workload::new(
         "pattern (b)",
@@ -177,8 +181,12 @@ pub fn pattern_c(n: usize, seed: u64) -> Workload {
     let sx = plan.add_op(sel(1), &[nx]).expect("select x");
     let sy = plan.add_op(sel(1), &[ny]).expect("select y");
     let sz = plan.add_op(sel(1), &[nz]).expect("select z");
-    let j1 = plan.add_op(RaOp::Join { key_len: 1 }, &[sx, sy]).expect("join 1");
-    let j2 = plan.add_op(RaOp::Join { key_len: 1 }, &[j1, sz]).expect("join 2");
+    let j1 = plan
+        .add_op(RaOp::Join { key_len: 1 }, &[sx, sy])
+        .expect("join 1");
+    let j2 = plan
+        .add_op(RaOp::Join { key_len: 1 }, &[j1, sz])
+        .expect("join 2");
     plan.mark_output(j2);
     Workload::new(
         "pattern (c)",
@@ -288,7 +296,8 @@ mod tests {
             let mut d2 = device();
             let base = w.run(&mut d2, &WeaverConfig::default().baseline()).unwrap();
             assert_eq!(
-                fused.outputs, base.outputs,
+                fused.outputs,
+                base.outputs,
                 "{} fused/baseline mismatch",
                 p.label()
             );

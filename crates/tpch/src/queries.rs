@@ -145,11 +145,7 @@ pub fn q1_plan(db: TpchDb) -> Workload {
         .expect("q1 aggregate");
     plan.mark_output(agg);
 
-    Workload::new(
-        "TPC-H Q1",
-        plan,
-        vec![("lineitem".into(), db.lineitem)],
-    )
+    Workload::new("TPC-H Q1", plan, vec![("lineitem".into(), db.lineitem)])
 }
 
 /// The nation selected by Q21's `WHERE n_name = ':1'` (a fixed nation key).
@@ -249,8 +245,11 @@ pub fn q21_plan(db: TpchDb) -> Workload {
     let qualifying = plan
         .add_op(
             RaOp::Select {
-                pred: Predicate::cmp(1, CmpOp::Ge, Value::U64(2))
-                    .and(Predicate::cmp(2, CmpOp::Eq, Value::U64(1))),
+                pred: Predicate::cmp(1, CmpOp::Ge, Value::U64(2)).and(Predicate::cmp(
+                    2,
+                    CmpOp::Eq,
+                    Value::U64(1),
+                )),
             },
             &[counts],
         )
@@ -416,8 +415,7 @@ mod tests {
             .filter(|t| t[1] == u64::from(crate::STATUS_F))
             .map(|t| t[0])
             .collect();
-        let nation_of: BTreeMap<u64, u64> =
-            db.supplier.iter().map(|t| (t[0], t[1])).collect();
+        let nation_of: BTreeMap<u64, u64> = db.supplier.iter().map(|t| (t[0], t[1])).collect();
         let mut suppliers_by_order: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
         let mut late_by_order: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
         for i in 0..li.len() {

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let config = WeaverConfig::default();
     let compiled = compile(&translated.plan, &config)?;
-    println!("fusion sets chosen by Algorithm 2: {:?}", compiled.fusion_sets);
+    println!(
+        "fusion sets chosen by Algorithm 2: {:?}",
+        compiled.fusion_sets
+    );
     for step in &compiled.steps {
         println!(
             "  step: {} ({} -> {} relations){}",

@@ -10,7 +10,9 @@ use kw_core::{
     compile, find_candidates, select_fusions, weave, FusionOptions, QueryPlan, ResourceBudget,
     WeaverConfig,
 };
-use kw_kernel_ir::{estimate_resources, infer_schemas, optimize, OptLevel, DEFAULT_THREADS_PER_CTA};
+use kw_kernel_ir::{
+    estimate_resources, infer_schemas, optimize, OptLevel, DEFAULT_THREADS_PER_CTA,
+};
 use kw_primitives::{consumer_class, RaOp};
 use kw_relational::{CmpOp, Predicate, Schema, Value};
 
@@ -37,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sorted = plan.add_op(RaOp::Sort { attrs: vec![1] }, &[j])?;
     plan.mark_output(sorted);
 
-    println!("== query plan (RA dependence graph) ==\n{}", plan.describe());
+    println!(
+        "== query plan (RA dependence graph) ==\n{}",
+        plan.describe()
+    );
 
     println!("== dependence classes ==");
     for (id, op, _) in plan.operator_nodes() {

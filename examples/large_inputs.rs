@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             base.gpu_seconds / fused.gpu_seconds,
             base.pcie_seconds / fused.pcie_seconds,
             base.total_seconds / fused.total_seconds,
-            (base.stats.pcie_bytes().saturating_sub(fused.stats.pcie_bytes())) >> 20,
+            (base
+                .stats
+                .pcie_bytes()
+                .saturating_sub(fused.stats.pcie_bytes()))
+                >> 20,
         );
     }
     println!(

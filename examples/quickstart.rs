@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Execute with kernel fusion (the default) ...
     let mut fused_dev = Device::new(DeviceConfig::fermi_c2050());
-    let fused = execute_plan(&plan, &[("t", &input)], &mut fused_dev, &WeaverConfig::default())?;
+    let fused = execute_plan(
+        &plan,
+        &[("t", &input)],
+        &mut fused_dev,
+        &WeaverConfig::default(),
+    )?;
 
     // 4. ... and as the unfused primitive-library baseline.
     let mut base_dev = Device::new(DeviceConfig::fermi_c2050());
@@ -58,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &WeaverConfig::default().baseline(),
     )?;
 
-    assert_eq!(fused.outputs, base.outputs, "fusion must not change results");
+    assert_eq!(
+        fused.outputs, base.outputs,
+        "fusion must not change results"
+    );
 
     println!("\n                    fused     baseline");
     println!(

@@ -14,10 +14,7 @@ use kw_relational::Value;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = kw_tpch::q1(16.0, 7);
-    println!(
-        "lineitem: {} rows\n",
-        workload.data[0].1.len()
-    );
+    println!("lineitem: {} rows\n", workload.data[0].1.len());
 
     let mut fused_dev = Device::new(DeviceConfig::fermi_c2050());
     let fused = workload.run(&mut fused_dev, &WeaverConfig::default())?;

@@ -39,8 +39,11 @@ fn filter_chain_program() {
     let oracle = ops::project(
         &ops::select(
             &input,
-            &Predicate::cmp(1, CmpOp::Lt, Value::U32(2000000000))
-                .and(Predicate::cmp(2, CmpOp::Ge, Value::U32(1000))),
+            &Predicate::cmp(1, CmpOp::Lt, Value::U32(2000000000)).and(Predicate::cmp(
+                2,
+                CmpOp::Ge,
+                Value::U32(1000),
+            )),
         )
         .unwrap(),
         &[0, 2],
@@ -134,7 +137,11 @@ fn recursive_style_union_program() {
     )
     .unwrap();
     let right = ops::project(
-        &ops::select(&input, &Predicate::cmp(2, CmpOp::Ge, Value::U32(4294000000))).unwrap(),
+        &ops::select(
+            &input,
+            &Predicate::cmp(2, CmpOp::Ge, Value::U32(4294000000)),
+        )
+        .unwrap(),
         &[0],
         1,
     )
@@ -183,7 +190,12 @@ fn two_shared_variables_join_on_composite_key() {
         .operator_nodes()
         .filter(|(_, op, _)| matches!(op, kw_primitives::RaOp::Sort { .. }))
         .count();
-    assert_eq!(sorts, 0, "composite keys already lead:\n{}", translated.plan.describe());
+    assert_eq!(
+        sorts,
+        0,
+        "composite keys already lead:\n{}",
+        translated.plan.describe()
+    );
 
     let fused = run(src, &[("a", &a), ("b", &b)], true);
     let base = run(src, &[("a", &a), ("b", &b)], false);
@@ -196,18 +208,8 @@ fn two_shared_variables_join_on_composite_key() {
 #[test]
 fn non_key_join_inserts_sort_and_still_matches() {
     // Join on the second attribute forces a SORT re-key in the plan.
-    let a = gen::random_relation(
-        &Schema::uniform_u32(2),
-        800,
-        64,
-        &mut gen::rng(47),
-    );
-    let b = gen::random_relation(
-        &Schema::uniform_u32(2),
-        800,
-        64,
-        &mut gen::rng(48),
-    );
+    let a = gen::random_relation(&Schema::uniform_u32(2), 800, 64, &mut gen::rng(47));
+    let b = gen::random_relation(&Schema::uniform_u32(2), 800, 64, &mut gen::rng(48));
     let src = "
         .input a(*u32, u32).
         .input b(*u32, u32).

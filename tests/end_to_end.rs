@@ -59,7 +59,9 @@ fn deep_mixed_pipeline_matches_cpu_oracle() {
     let na = plan.add_input("a", a.schema().clone());
     let nb = plan.add_input("b", b.schema().clone());
     let pred = Predicate::cmp(1, CmpOp::Lt, Value::U32(u32::MAX / 2));
-    let sa = plan.add_op(RaOp::Select { pred: pred.clone() }, &[na]).unwrap();
+    let sa = plan
+        .add_op(RaOp::Select { pred: pred.clone() }, &[na])
+        .unwrap();
     let j = plan.add_op(RaOp::Join { key_len: 1 }, &[sa, nb]).unwrap();
     let pr = plan
         .add_op(
@@ -73,10 +75,7 @@ fn deep_mixed_pipeline_matches_cpu_oracle() {
     let mp = plan
         .add_op(
             RaOp::Map {
-                exprs: vec![
-                    Expr::attr(0),
-                    Expr::attr(1).add(Expr::attr(2)),
-                ],
+                exprs: vec![Expr::attr(0), Expr::attr(1).add(Expr::attr(2))],
                 key_arity: 1,
             },
             &[pr],
@@ -90,12 +89,7 @@ fn deep_mixed_pipeline_matches_cpu_oracle() {
         let sa = ops::select(&a, &pred).unwrap();
         let j = ops::join(&sa, &b, 1).unwrap();
         let pr = ops::project(&j, &[0, 1, 4], 1).unwrap();
-        let mp = ops::compute(
-            &pr,
-            &[Expr::attr(0), Expr::attr(1).add(Expr::attr(2))],
-            1,
-        )
-        .unwrap();
+        let mp = ops::compute(&pr, &[Expr::attr(0), Expr::attr(1).add(Expr::attr(2))], 1).unwrap();
         ops::unique(&mp).unwrap()
     };
 
@@ -198,7 +192,9 @@ fn aggregate_pipeline_matches_oracle() {
 
     let mut plan = QueryPlan::new();
     let t = plan.add_input("t", input.schema().clone());
-    let s = plan.add_op(RaOp::Select { pred: pred.clone() }, &[t]).unwrap();
+    let s = plan
+        .add_op(RaOp::Select { pred: pred.clone() }, &[t])
+        .unwrap();
     let g = plan
         .add_op(
             RaOp::Aggregate {
@@ -218,8 +214,7 @@ fn aggregate_pipeline_matches_oracle() {
     .unwrap();
 
     let mut dev = device();
-    let report =
-        execute_plan(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default()).unwrap();
+    let report = execute_plan(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default()).unwrap();
     assert_eq!(report.outputs[&g], oracle);
 }
 
@@ -256,8 +251,7 @@ fn semi_and_anti_joins_fuse_correctly() {
                 ..WeaverConfig::default()
             };
             let mut dev = device();
-            let report =
-                execute_plan(&plan, &[("a", &a), ("b", &b)], &mut dev, &config).unwrap();
+            let report = execute_plan(&plan, &[("a", &a), ("b", &b)], &mut dev, &config).unwrap();
             assert_eq!(report.outputs[&sj], oracle, "{name} fusion={fusion}");
             if fusion {
                 assert_eq!(report.fusion_sets.len(), 1, "{name} should fuse");
@@ -273,14 +267,22 @@ fn semi_anti_partition_property() {
     let mut plan = QueryPlan::new();
     let na = plan.add_input("a", a.schema().clone());
     let nb = plan.add_input("b", b.schema().clone());
-    let semi = plan.add_op(RaOp::SemiJoin { key_len: 1 }, &[na, nb]).unwrap();
-    let anti = plan.add_op(RaOp::AntiJoin { key_len: 1 }, &[na, nb]).unwrap();
+    let semi = plan
+        .add_op(RaOp::SemiJoin { key_len: 1 }, &[na, nb])
+        .unwrap();
+    let anti = plan
+        .add_op(RaOp::AntiJoin { key_len: 1 }, &[na, nb])
+        .unwrap();
     plan.mark_output(semi);
     plan.mark_output(anti);
     let mut dev = device();
-    let report =
-        execute_plan(&plan, &[("a", &a), ("b", &b)], &mut dev, &WeaverConfig::default())
-            .unwrap();
+    let report = execute_plan(
+        &plan,
+        &[("a", &a), ("b", &b)],
+        &mut dev,
+        &WeaverConfig::default(),
+    )
+    .unwrap();
     assert_eq!(
         report.outputs[&semi].len() + report.outputs[&anti].len(),
         a.len()

@@ -32,13 +32,7 @@ fn rescheduled_plans_execute_identically_and_faster() {
     let mut d1 = Device::new(DeviceConfig::fermi_c2050());
     let plain = execute_plan(&plan, &[("t", &input)], &mut d1, &WeaverConfig::default()).unwrap();
     let mut d2 = Device::new(DeviceConfig::fermi_c2050());
-    let moved = execute_plan(
-        &r.plan,
-        &[("t", &input)],
-        &mut d2,
-        &WeaverConfig::default(),
-    )
-    .unwrap();
+    let moved = execute_plan(&r.plan, &[("t", &input)], &mut d2, &WeaverConfig::default()).unwrap();
 
     let out_plain = &plain.outputs[&post];
     let out_moved = &moved.outputs[&r.node_map[&post]];
@@ -63,9 +57,14 @@ fn chunked_execution_scales_with_chunk_count() {
     let mut prev_outputs = None;
     for chunks in [1usize, 3, 16] {
         let mut dev = Device::new(DeviceConfig::fermi_c2050());
-        let report =
-            execute_chunked(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default(), chunks)
-                .unwrap();
+        let report = execute_chunked(
+            &plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+            chunks,
+        )
+        .unwrap();
         assert_eq!(report.chunks, chunks);
         assert!(report.pipelined_seconds <= report.serialized_seconds + 1e-12);
         if let Some(prev) = &prev_outputs {
@@ -105,7 +104,13 @@ fn alternative_devices_run_all_patterns() {
             let base = w
                 .run(&mut base_dev, &WeaverConfig::default().baseline())
                 .unwrap();
-            assert_eq!(fused.outputs, base.outputs, "{} on {}", pattern.label(), cfg.name);
+            assert_eq!(
+                fused.outputs,
+                base.outputs,
+                "{} on {}",
+                pattern.label(),
+                cfg.name
+            );
             assert!(
                 fused.gpu_seconds <= base.gpu_seconds,
                 "{} on {}: fusion must not lose",
@@ -124,8 +129,7 @@ fn overlapped_seconds_is_max_of_streams() {
     let s = plan.add_op(sel(1), &[t]).unwrap();
     plan.mark_output(s);
     let mut dev = Device::new(DeviceConfig::fermi_c2050());
-    let report =
-        execute_plan(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default()).unwrap();
+    let report = execute_plan(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default()).unwrap();
     let expect = report.gpu_seconds.max(report.pcie_seconds);
     assert!((report.overlapped_seconds() - expect).abs() < 1e-15);
 }

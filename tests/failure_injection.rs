@@ -1,11 +1,18 @@
-//! Failure injection: capacity exhaustion, infeasible launches, malformed
-//! bindings and hostile plans must surface as typed errors — never panics,
-//! never wrong answers.
+//! Failure injection: capacity exhaustion, infeasible launches, transient
+//! device faults, malformed bindings and hostile plans must surface as typed
+//! errors — never panics, never wrong answers, never leaked device memory.
+//! The resilient driver additionally has to *absorb* the recoverable subset:
+//! transient faults by retrying, capacity misses by degrading
+//! Resident → Staged → Chunked.
 
-use kw_core::{execute_plan, QueryPlan, ResourceBudget, WeaverConfig};
-use kw_gpu_sim::{Device, DeviceConfig, SimError};
+use kw_core::{
+    execute_plan, execute_resilient, AdmittedMode, QueryPlan, ResourceBudget, RetryPolicy,
+    WeaverConfig,
+};
+use kw_gpu_sim::{Device, DeviceConfig, FaultConfig, FaultKind, ScriptedFault, SimError};
 use kw_primitives::RaOp;
 use kw_relational::{gen, CmpOp, Predicate, Schema, Value};
+use proptest::prelude::*;
 
 fn select_plan(schema: Schema) -> QueryPlan {
     let mut plan = QueryPlan::new();
@@ -29,10 +36,14 @@ fn device_out_of_memory_is_reported() {
     let input = gen::micro_input(65_536, 1);
     let plan = select_plan(input.schema().clone());
     let mut dev = Device::new(DeviceConfig::tiny());
-    let err = execute_plan(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default())
-        .unwrap_err();
+    let err =
+        execute_plan(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default()).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("out of memory"), "{msg}");
+    assert!(err.is_capacity());
+    // The executor's cleanup guard must free every buffer it allocated
+    // before the OOM, including the input uploads.
+    assert_eq!(dev.memory().in_use(), 0, "error path leaked device memory");
 }
 
 #[test]
@@ -40,8 +51,7 @@ fn small_data_fits_tiny_device() {
     let input = gen::micro_input(1_000, 2);
     let plan = select_plan(input.schema().clone());
     let mut dev = Device::new(DeviceConfig::tiny());
-    let report =
-        execute_plan(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default()).unwrap();
+    let report = execute_plan(&plan, &[("t", &input)], &mut dev, &WeaverConfig::default()).unwrap();
     assert_eq!(report.outputs.len(), 1);
     // Everything freed at the end.
     assert_eq!(dev.memory().in_use(), 0);
@@ -166,6 +176,211 @@ fn self_join_is_handled() {
         let report = execute_plan(&plan, &[("t", &input)], &mut dev, &config).unwrap();
         let oracle = kw_relational::ops::join(&input, &input, 1).unwrap();
         assert_eq!(report.outputs[&j], oracle, "fusion={fusion}");
+    }
+}
+
+/// Acceptance: a plan too large for Resident on `DeviceConfig::tiny()` runs
+/// to completion via automatic degradation, and the answer matches a clean
+/// run on a big device.
+#[test]
+fn too_large_for_resident_degrades_and_matches_oracle() {
+    let input = gen::micro_input(65_536, 1);
+    let plan = select_plan(input.schema().clone());
+
+    let mut big = Device::new(DeviceConfig::fermi_c2050());
+    let oracle = execute_plan(&plan, &[("t", &input)], &mut big, &WeaverConfig::default())
+        .expect("oracle run");
+
+    let mut dev = Device::new(DeviceConfig::tiny());
+    let report = execute_resilient(
+        &plan,
+        &[("t", &input)],
+        &mut dev,
+        &WeaverConfig::default(),
+        &RetryPolicy::default(),
+    )
+    .expect("resilient run on tiny device");
+
+    assert_eq!(report.outputs, oracle.outputs);
+    let res = report.resilience.as_ref().unwrap();
+    assert_ne!(res.final_mode, AdmittedMode::Resident, "{res:?}");
+    assert!(res.admission.resident_peak > res.admission.capacity);
+    assert_eq!(
+        dev.memory().in_use(),
+        0,
+        "degraded run leaked device memory"
+    );
+}
+
+/// Acceptance: the same oversized run with a ≥10% transient PCIe + launch
+/// fault rate still completes with identical outputs, the retries are
+/// visible in the ResilienceReport, and nothing leaks.
+#[test]
+fn faulty_degraded_run_completes_with_identical_outputs() {
+    // 32Ki tuples: still over tiny()'s Resident/Staged capacity (degrades to
+    // chunked(2)) but with a small enough per-attempt fault cross-section
+    // that a bounded retry budget is guaranteed to get through at 10%.
+    let input = gen::micro_input(32_768, 1);
+    let plan = select_plan(input.schema().clone());
+
+    let mut clean_dev = Device::new(DeviceConfig::tiny());
+    let clean = execute_resilient(
+        &plan,
+        &[("t", &input)],
+        &mut clean_dev,
+        &WeaverConfig::default(),
+        &RetryPolicy::default(),
+    )
+    .expect("fault-free resilient run");
+
+    let mut dev = Device::new(DeviceConfig::tiny());
+    dev.inject_faults(FaultConfig {
+        seed: 0xFA17,
+        transfer_rate: 0.10,
+        launch_rate: 0.10,
+        ..FaultConfig::default()
+    });
+    let policy = RetryPolicy {
+        max_retries: 64,
+        base_backoff_seconds: 1e-4,
+        backoff_multiplier: 1.05,
+    };
+    let report = execute_resilient(
+        &plan,
+        &[("t", &input)],
+        &mut dev,
+        &WeaverConfig::default(),
+        &policy,
+    )
+    .expect("resilient run under 10% faults");
+
+    assert_eq!(report.outputs, clean.outputs, "faults changed the answer");
+    let res = report.resilience.as_ref().unwrap();
+    assert!(res.retries >= 1, "no retry recorded at 10% faults: {res:?}");
+    assert_eq!(res.faults_survived, res.retries);
+    assert!(res.backoff_seconds > 0.0);
+    // Chunked attempts run on scratch devices, so the parent's own fault
+    // counter only sees faults on its mirrored transfers — the driver-side
+    // ResilienceReport above is the authoritative count.
+    assert_eq!(dev.memory().in_use(), 0, "faulty run leaked device memory");
+}
+
+/// A scripted first-launch fault costs exactly one retry with exactly the
+/// base backoff: the whole fault → retry → success path is deterministic.
+#[test]
+fn scripted_fault_costs_exactly_one_retry() {
+    let input = gen::micro_input(1_000, 2);
+    let plan = select_plan(input.schema().clone());
+    let mut dev = Device::new(DeviceConfig::fermi_c2050());
+    dev.inject_faults(FaultConfig::scripted(vec![ScriptedFault {
+        kind: FaultKind::Launch,
+        attempt: 0,
+    }]));
+    let policy = RetryPolicy::default();
+    let report = execute_resilient(
+        &plan,
+        &[("t", &input)],
+        &mut dev,
+        &WeaverConfig::default(),
+        &policy,
+    )
+    .unwrap();
+    let res = report.resilience.as_ref().unwrap();
+    assert_eq!((res.attempts, res.retries, res.faults_survived), (2, 1, 1));
+    assert!((res.backoff_seconds - policy.base_backoff_seconds).abs() < 1e-15);
+    assert_eq!(dev.stats().faults_injected, 1);
+    assert_eq!(dev.memory().in_use(), 0);
+}
+
+/// An elementwise SELECT/PROJECT chain of the given depth (≥ 1) over a
+/// 3-column schema, for the property test below.
+fn chain_plan(schema: Schema, depth: usize) -> QueryPlan {
+    let mut plan = QueryPlan::new();
+    let mut cur = plan.add_input("t", schema);
+    for i in 0..depth.max(1) {
+        let op = if i % 2 == 0 {
+            RaOp::Select {
+                pred: Predicate::cmp(i % 3, CmpOp::Lt, Value::U32(u32::MAX / 2)),
+            }
+        } else {
+            RaOp::Project {
+                attrs: vec![0, 1, 2],
+                key_arity: 1,
+            }
+        };
+        cur = plan.add_op(op, &[cur]).unwrap();
+    }
+    plan.mark_output(cur);
+    plan
+}
+
+proptest! {
+    /// Arbitrary small plans on arbitrary small devices under arbitrary
+    /// transient-fault rates: the resilient driver either returns
+    /// oracle-equal outputs or a typed error — it never panics, never leaks
+    /// device memory, and is deterministic (two identical runs agree).
+    #[test]
+    fn resilient_execution_is_safe_and_deterministic(
+        depth in 1usize..4,
+        n in 0usize..300,
+        data_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        cap_idx in 0usize..4,
+        rate_idx in 0usize..3,
+    ) {
+        let input = gen::micro_input(n, data_seed);
+        let plan = chain_plan(input.schema().clone(), depth);
+        let capacities = [3u64 << 30, 1 << 20, 1 << 13, 1 << 10];
+        let rate = [0.0, 0.05, 0.2][rate_idx];
+        let faults = FaultConfig {
+            seed: fault_seed,
+            transfer_rate: rate,
+            launch_rate: rate,
+            ..FaultConfig::default()
+        };
+        let policy = RetryPolicy {
+            max_retries: 32,
+            base_backoff_seconds: 1e-4,
+            backoff_multiplier: 1.1,
+        };
+
+        let run_once = || {
+            let mut dev = Device::new(DeviceConfig {
+                global_mem_bytes: capacities[cap_idx],
+                ..DeviceConfig::fermi_c2050()
+            });
+            dev.inject_faults(faults.clone());
+            let result = execute_resilient(
+                &plan,
+                &[("t", &input)],
+                &mut dev,
+                &WeaverConfig::default(),
+                &policy,
+            );
+            let leaked = dev.memory().in_use();
+            (result.map(|r| r.outputs).map_err(|e| e.to_string()), leaked)
+        };
+
+        let (first, leak1) = run_once();
+        let (second, leak2) = run_once();
+        prop_assert_eq!(leak1, 0, "first run leaked");
+        prop_assert_eq!(leak2, 0, "second run leaked");
+        prop_assert_eq!(&first, &second, "identical runs disagreed");
+
+        match &first {
+            Ok(outputs) => {
+                let mut big = Device::new(DeviceConfig::fermi_c2050());
+                let oracle = execute_plan(
+                    &plan,
+                    &[("t", &input)],
+                    &mut big,
+                    &WeaverConfig::default(),
+                )
+                .expect("oracle run on a clean full-size device");
+                prop_assert_eq!(outputs, &oracle.outputs);
+            }
+            Err(msg) => prop_assert!(!msg.is_empty(), "untyped empty error"),
+        }
     }
 }
 

@@ -18,7 +18,11 @@ fn device() -> Device {
 fn arb_unary_op() -> impl Strategy<Value = RaOp> {
     prop_oneof![
         // SELECT with a random threshold on a random attribute.
-        (0usize..4, any::<u32>(), prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Ge), Just(CmpOp::Ne)])
+        (
+            0usize..4,
+            any::<u32>(),
+            prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Ge), Just(CmpOp::Ne)]
+        )
             .prop_map(|(attr, v, op)| RaOp::Select {
                 pred: Predicate::cmp(attr, op, Value::U32(v)),
             }),

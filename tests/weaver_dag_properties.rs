@@ -91,9 +91,7 @@ fn grow_plan(steps: &[GrowStep]) -> (QueryPlan, Vec<NodeId>) {
                 };
                 plan.add_op(op, &[pick(*a), pick(*b)]).unwrap()
             }
-            GrowStep::Union(a, b) => plan
-                .add_op(RaOp::Union, &[pick(*a), pick(*b)])
-                .unwrap(),
+            GrowStep::Union(a, b) => plan.add_op(RaOp::Union, &[pick(*a), pick(*b)]).unwrap(),
         };
         frontier.push(node);
     }
@@ -102,7 +100,9 @@ fn grow_plan(steps: &[GrowStep]) -> (QueryPlan, Vec<NodeId>) {
     let sinks: Vec<NodeId> = frontier
         .iter()
         .copied()
-        .filter(|&n| plan.consumers(n).is_empty() && !matches!(plan.node(n), kw_core::PlanNode::Input { .. }))
+        .filter(|&n| {
+            plan.consumers(n).is_empty() && !matches!(plan.node(n), kw_core::PlanNode::Input { .. })
+        })
         .collect();
     let outputs = if sinks.is_empty() {
         vec![*frontier.last().unwrap()]

@@ -1,0 +1,156 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-io access, so bench targets link this
+//! minimal shim instead. It keeps the familiar API (`criterion_group!`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`) but runs each
+//! benchmark body exactly once and prints the wall time — enough for
+//! `cargo test`/`cargo bench` to smoke-test every bench target without
+//! statistical sampling. Use `kw-bench`'s `paper_tables` binary for the real
+//! (simulated-clock) measurements.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the body once.
+pub struct Bencher {
+    elapsed: Option<std::time::Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        let out = body();
+        self.elapsed = Some(start.elapsed());
+        drop(out);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub always runs a single iteration.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { elapsed: None };
+        body(&mut b, input);
+        match b.elapsed {
+            Some(d) => eprintln!(
+                "bench {}/{}: {:.3} ms (1 iter)",
+                self.name,
+                id.label,
+                d.as_secs_f64() * 1e3
+            ),
+            None => eprintln!("bench {}/{}: no iter() call", self.name, id.label),
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed: None };
+        body(&mut b);
+        match b.elapsed {
+            Some(d) => eprintln!(
+                "bench {}/{}: {:.3} ms (1 iter)",
+                self.name,
+                id,
+                d.as_secs_f64() * 1e3
+            ),
+            None => eprintln!("bench {}/{}: no iter() call", self.name, id),
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level driver handed to each registered bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Opaque use of a value, preventing the optimizer from deleting the work.
+pub fn black_box<T>(v: T) -> T {
+    std::hint::black_box(v)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies_once() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group
+            .sample_size(10)
+            .bench_with_input(BenchmarkId::new("f", 1), &41, |b, input| {
+                b.iter(|| {
+                    runs += 1;
+                    black_box(*input + 1)
+                })
+            });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}
