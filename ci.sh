@@ -15,4 +15,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test --workspace -q
 
+echo "== trace schema validation (examples/trace.rs)"
+# Runs TPC-H Q1 fused + unfused, reconciles per-span deltas against the
+# aggregate SimStats and validates the exported Chrome trace JSON; the
+# example exits non-zero on any schema or reconciliation failure.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run -q -p kw-examples --example trace -- "$trace_dir" > /dev/null
+for f in "$trace_dir"/q1.fused.trace.json "$trace_dir"/q1.baseline.trace.json; do
+    [ -s "$f" ] || { echo "missing trace export: $f" >&2; exit 1; }
+done
+
 echo "CI OK"

@@ -13,7 +13,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use kw_bench::experiments::{
     ablations, capacity, density, fig04, fig16, fig17, fig18, fig19, fig20, fig21, platforms,
-    queries, robustness, table2, table3,
+    queries, robustness, table2, table3, trace,
 };
 
 fn main() {
@@ -30,6 +30,14 @@ fn main() {
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
+    // `--trace-dir <dir>` exports the trace section's span logs as
+    // Perfetto-loadable Chrome trace JSON plus per-operator summaries.
+    let trace_dir: Option<std::path::PathBuf> =
+        args.iter().position(|a| a == "--trace-dir").map(|i| {
+            let dir = args.get(i + 1).cloned().unwrap_or_else(|| "traces".into());
+            args.drain(i..(i + 2).min(args.len()));
+            dir.into()
+        });
     let csv = |name: &str, header: &str, rows: &[String]| {
         if let Some(dir) = &csv_dir {
             let body = format!("{header}\n{}\n", rows.join("\n"));
@@ -442,6 +450,46 @@ fn main() {
         println!();
     });
 
+    run(&["trace"], &|| {
+        section("Execution traces: fused vs unfused TPC-H Q1 (Chrome trace format)");
+        let cmp = trace::q1(4.0);
+        println!(
+            "  {:<12}  {:>8}  {:>8}  {:>14}  {:>14}",
+            "variant", "kernels", "pcie", "global bytes", "spans"
+        );
+        for cap in [&cmp.fused, &cmp.baseline] {
+            println!(
+                "  {:<12}  {:>8}  {:>8}  {:>14}  {:>14}",
+                cap.name.rsplit('.').next().unwrap_or(&cap.name),
+                cap.kernel_spans(),
+                cap.transfer_spans(),
+                cap.stats.global_bytes(),
+                cap.spans.len()
+            );
+        }
+        println!("\n  Per-operator summary ({}):", cmp.fused.name);
+        for line in
+            kw_gpu_sim::summary_table(&kw_gpu_sim::operator_summary(&cmp.fused.spans)).lines()
+        {
+            println!("    {line}");
+        }
+        if let Some(dir) = &trace_dir {
+            let sink = kw_gpu_sim::TraceSink::new(dir).expect("create trace dir");
+            for cap in [&cmp.fused, &cmp.baseline] {
+                let path = sink
+                    .export_spans(&cap.name, &cap.spans, &cap.stats, cap.clock_ghz)
+                    .expect("export trace");
+                println!(
+                    "  wrote {} (open in https://ui.perfetto.dev)",
+                    path.display()
+                );
+            }
+        } else {
+            println!("  (pass --trace-dir <dir> to export Perfetto-loadable JSON)");
+        }
+        println!();
+    });
+
     run(&["robustness"], &|| {
         section("Resilient execution: degradation ladder and transient faults");
         println!("  Degradation ladder, pattern (a), 32Ki tuples per capacity:");
@@ -449,7 +497,15 @@ fn main() {
             "    {:>12}  {:<13}  {:<13}  {:>9}  {:>9}",
             "capacity B", "fused mode", "base mode", "fused ms", "base ms"
         );
-        let rows = robustness::run_ladder(1 << 15);
+        let rows = match robustness::run_ladder(1 << 15) {
+            Ok(rows) => rows,
+            Err(e) => {
+                // A typed sweep error skips the table with a warning instead
+                // of panicking mid-sweep (the old unwrap behaviour).
+                eprintln!("  !! ladder sweep skipped: {e}");
+                Vec::new()
+            }
+        };
         for r in &rows {
             println!(
                 "    {:>12}  {:<13}  {:<13}  {:>9.4}  {:>9.4}",
@@ -484,7 +540,13 @@ fn main() {
             "    {:>6}  {:>8}  {:>8}  {:>10}  {:>10}",
             "rate", "f.retry", "b.retry", "fused ms", "base ms"
         );
-        let rows = robustness::run_faults(1 << 14, &robustness::FAULT_RATES);
+        let rows = match robustness::run_faults(1 << 14, &robustness::FAULT_RATES) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("  !! fault sweep skipped: {e}");
+                Vec::new()
+            }
+        };
         for r in &rows {
             println!(
                 "    {:>5.0}%  {:>8}  {:>8}  {:>10.4}  {:>10.4}",

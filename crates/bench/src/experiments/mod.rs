@@ -19,6 +19,7 @@ pub mod queries;
 pub mod robustness;
 pub mod table2;
 pub mod table3;
+pub mod trace;
 
 use kw_core::{ExecMode, PlanReport, WeaverConfig};
 use kw_gpu_sim::{Device, DeviceConfig};

@@ -128,7 +128,7 @@ pub fn execute_chunked_compiled(
         Default::default();
 
     let mut peak_device_bytes = 0u64;
-    for chunk in &chunked_inputs {
+    for (chunk_idx, chunk) in chunked_inputs.iter().enumerate() {
         let refs: Vec<(&str, &Relation)> = chunk.iter().map(|(n, r)| (*n, r)).collect();
         // fork_scratch carries the parent's fault rates on a derived stream,
         // so injected faults keep striking inside chunk execution too.
@@ -147,9 +147,17 @@ pub fn execute_chunked_compiled(
         per_chunk.push((h2d, mid, d2h));
 
         // Mirror the traffic onto the user's device for its counters. These
-        // are fault-injectable like any transfer.
-        device.transfer(Direction::HostToDevice, in_bytes)?;
-        device.transfer(Direction::DeviceToHost, out_bytes)?;
+        // are fault-injectable like any transfer. The chunk's own kernels
+        // ran on the scratch device and are not part of the parent's span
+        // log (see DESIGN.md); the mirrored transfers are, and carry the
+        // chunk's provenance. The scope is popped before any fault
+        // propagates so a retry starts with clean labels.
+        device.push_scope(format!("chunk{chunk_idx}"));
+        let mirrored = device
+            .transfer(Direction::HostToDevice, in_bytes)
+            .and_then(|_| device.transfer(Direction::DeviceToHost, out_bytes));
+        device.pop_scope();
+        mirrored?;
 
         for (&node, rel) in &report.outputs {
             outputs

@@ -58,6 +58,13 @@ pub struct PlanReport {
     /// How the resilient driver got here (mode chosen, retries, faults
     /// survived, degradations). `None` for direct executor calls.
     pub resilience: Option<crate::resilient::ResilienceReport>,
+    /// Structured execution trace: one span per kernel launch, PCIe
+    /// transfer, allocation and fault, with operator provenance and a
+    /// per-span [`SimStats`] delta. A snapshot of the device's span log at
+    /// report time, so like [`PlanReport::stats`] it is cumulative over the
+    /// device's life; for a fresh device the two reconcile exactly (see
+    /// [`kw_gpu_sim::reconcile`]).
+    pub spans: Vec<kw_gpu_sim::Span>,
 }
 
 impl PlanReport {
@@ -131,8 +138,12 @@ pub fn execute_compiled(
     // degraded re-execution. Free errors during unwind are ignored — the
     // original error is the one worth reporting.
     let mut live = LiveBuffers::default();
+    let scope_depth = device.scope_depth();
     let result = run_compiled(plan, compiled, bindings, device, config, &mut live);
     if result.is_err() {
+        // Unwind any provenance scopes the failed run left pushed, so a
+        // retry or degraded re-execution starts with clean span labels.
+        device.truncate_scope(scope_depth);
         for buf in live.drain() {
             let _ = device.free(buf);
         }
@@ -202,6 +213,7 @@ fn run_compiled(
     // staged experiment streams operator *results* back to the host; base
     // relations are transferred when first needed and shared inputs are not
     // re-sent, which is why pattern (d) sees no PCIe benefit).
+    device.push_scope("stage-in");
     for id in plan.node_ids() {
         if matches!(plan.node(id), PlanNode::Input { .. })
             && refcount.get(&id).copied().unwrap_or(0) > 0
@@ -212,8 +224,14 @@ fn run_compiled(
             device.transfer(Direction::HostToDevice, rel.byte_size() as u64)?;
         }
     }
+    device.pop_scope();
 
-    for step in &compiled.steps {
+    for (step_idx, step) in compiled.steps.iter().enumerate() {
+        // Every span this step emits (kernels, staging transfers, scratch
+        // and result allocations) carries the operator's provenance. Fused
+        // steps keep their `fused[...]` label, so fusion candidates stay
+        // identifiable in the trace.
+        device.push_scope(format!("step{step_idx}:{}", step.op.label));
         // Staged mode: intermediates were sent back to the host after the
         // step that produced them; re-stage the ones this step consumes.
         if config.mode == ExecMode::Staged {
@@ -286,10 +304,12 @@ fn run_compiled(
                 }
             }
         }
+        device.pop_scope();
     }
 
     // Resident mode: download marked outputs. Then free whatever remains.
     if config.mode == ExecMode::Resident {
+        device.push_scope("stage-out");
         for &o in plan.outputs() {
             let bytes = values
                 .get(&o)
@@ -299,6 +319,7 @@ fn run_compiled(
                 })?;
             device.transfer(Direction::DeviceToHost, bytes)?;
         }
+        device.pop_scope();
     }
     let ids: Vec<NodeId> = live.by_node.keys().copied().collect();
     for id in ids {
@@ -326,6 +347,7 @@ fn run_compiled(
         fusion_sets: compiled.fusion_sets.clone(),
         operator_count: compiled.steps.len(),
         resilience: None,
+        spans: device.spans().to_vec(),
     })
 }
 

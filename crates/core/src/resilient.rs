@@ -157,6 +157,10 @@ pub fn execute_compiled_resilient(
 
     loop {
         attempts += 1;
+        // Every span this attempt emits is labelled with the attempt number
+        // and the ladder rung that produced it, so a trace of a faulted run
+        // shows which work was wasted and which attempt finally landed.
+        device.push_scope(format!("attempt{attempts}:{mode}"));
         let result = match mode {
             AdmittedMode::Resident => {
                 let mut cfg = *config;
@@ -184,10 +188,12 @@ pub fn execute_compiled_resilient(
                         fusion_sets: compiled.fusion_sets.clone(),
                         operator_count: compiled.steps.len(),
                         resilience: None,
+                        spans: Vec::new(),
                     }
                 })
             }
         };
+        device.pop_scope();
 
         match result {
             Ok(mut report) => {
@@ -201,12 +207,18 @@ pub fn execute_compiled_resilient(
                     degradations,
                     backoff_seconds,
                 });
+                // The device's span log covers the whole resilient episode —
+                // failed attempts, backoff and the final successful run —
+                // which is the history a trace should show.
+                report.spans = device.spans().to_vec();
                 return Ok(report);
             }
             Err(e) if e.is_transient() && retries_this_rung < policy.max_retries => {
                 let wait = policy.base_backoff_seconds
                     * policy.backoff_multiplier.powi(retries_this_rung as i32);
+                device.push_scope(format!("retry{retries}", retries = retries + 1));
                 device.charge_backoff(wait);
+                device.pop_scope();
                 backoff_seconds += wait;
                 retries_this_rung += 1;
                 retries += 1;

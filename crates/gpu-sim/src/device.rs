@@ -6,7 +6,7 @@
 use crate::{
     kernel_cost, pcie_seconds, BufferId, DeviceConfig, Direction, Event, FaultConfig,
     FaultInjector, FaultKind, KernelCost, KernelQuantities, KernelResources, LaunchDims,
-    MemoryTracker, Result, SimError, SimStats,
+    MemoryTracker, Result, SimError, SimStats, Span, SpanKind,
 };
 
 /// A simulated GPU.
@@ -35,6 +35,16 @@ pub struct Device {
     stats: SimStats,
     timeline: Vec<Event>,
     faults: Option<FaultInjector>,
+    /// Structured trace: one span per charged operation (see [`Span`]).
+    spans: Vec<Span>,
+    /// Provenance scope stack; joined into each recorded span.
+    scope: Vec<String>,
+    /// Unified trace clock: GPU cycles, PCIe time and backoff all advance
+    /// it, so spans of all kinds share one timeline.
+    clock_cycles: u64,
+    /// Running sum of span deltas; must always equal `stats` (the
+    /// reconciliation invariant, asserted in debug builds).
+    reconciled: SimStats,
 }
 
 impl Device {
@@ -47,6 +57,10 @@ impl Device {
             stats: SimStats::default(),
             timeline: Vec::new(),
             faults: None,
+            spans: Vec::new(),
+            scope: Vec::new(),
+            clock_cycles: 0,
+            reconciled: SimStats::default(),
         }
     }
 
@@ -77,17 +91,92 @@ impl Device {
     }
 
     /// Whether an injected fault fires for the next operation of `kind`;
-    /// when it does, the fault is recorded in the stats and timeline.
+    /// when it does, the fault is recorded in the stats, timeline and trace.
     fn fault_fires(&mut self, kind: FaultKind, label: &str) -> bool {
         let fires = self.faults.as_mut().is_some_and(|f| f.should_fault(kind));
         if fires {
+            let before = self.stats;
             self.stats.faults_injected += 1;
             self.timeline.push(Event::Fault {
                 kind,
                 label: label.to_string(),
             });
+            self.record_span(
+                SpanKind::Fault,
+                format!("fault.{}:{label}", kind.name()),
+                before,
+                0,
+            );
         }
         fires
+    }
+
+    /// Record one span covering everything charged to `stats` since
+    /// `before`, advancing the trace clock by `duration_cycles`.
+    fn record_span(
+        &mut self,
+        kind: SpanKind,
+        label: String,
+        before: SimStats,
+        duration_cycles: u64,
+    ) {
+        let delta = self.stats.diff(&before);
+        let start_cycle = self.clock_cycles;
+        // Saturate like SimStats::merge: a pathological duration (e.g. an
+        // exponential backoff that left f64 range) clamps instead of
+        // wrapping the clock backwards.
+        self.clock_cycles = self.clock_cycles.saturating_add(duration_cycles);
+        self.reconciled.merge(&delta);
+        self.spans.push(Span {
+            id: self.spans.len() as u64,
+            kind,
+            label,
+            provenance: self.scope.join("/"),
+            start_cycle,
+            end_cycle: self.clock_cycles,
+            delta,
+        });
+        #[cfg(debug_assertions)]
+        if let Err(e) = crate::trace::compare_stats(&self.reconciled, &self.stats) {
+            panic!("span accounting drifted from aggregate stats: {e}");
+        }
+    }
+
+    /// The recorded trace spans, in charge order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Current position of the unified trace clock, cycles.
+    pub fn clock_cycles(&self) -> u64 {
+        self.clock_cycles
+    }
+
+    /// Push a provenance frame; spans recorded until the matching
+    /// [`Device::pop_scope`] carry it in [`Span::provenance`].
+    pub fn push_scope(&mut self, frame: impl Into<String>) {
+        self.scope.push(frame.into());
+    }
+
+    /// Pop the innermost provenance frame (no-op on an empty stack).
+    pub fn pop_scope(&mut self) {
+        self.scope.pop();
+    }
+
+    /// Depth of the provenance stack (for balanced unwinding on error
+    /// paths, via [`Device::truncate_scope`]).
+    pub fn scope_depth(&self) -> usize {
+        self.scope.len()
+    }
+
+    /// Drop provenance frames down to `depth` (error-path cleanup).
+    pub fn truncate_scope(&mut self, depth: usize) {
+        self.scope.truncate(depth);
+    }
+
+    /// The current `/`-joined provenance string.
+    pub fn current_provenance(&self) -> String {
+        self.scope.join("/")
     }
 
     /// The device configuration.
@@ -110,10 +199,14 @@ impl Device {
         &self.timeline
     }
 
-    /// Reset statistics and timeline (allocations survive).
+    /// Reset statistics, timeline, trace spans and the trace clock
+    /// (allocations and the provenance scope stack survive).
     pub fn reset_stats(&mut self) {
         self.stats = SimStats::default();
         self.timeline.clear();
+        self.spans.clear();
+        self.clock_cycles = 0;
+        self.reconciled = SimStats::default();
     }
 
     /// Allocate a global-memory buffer.
@@ -128,7 +221,12 @@ impl Device {
             return Err(SimError::AllocFault { requested: bytes });
         }
         let id = self.memory.alloc(bytes, label.clone())?;
-        self.timeline.push(Event::Alloc { label, bytes });
+        self.timeline.push(Event::Alloc {
+            label: label.clone(),
+            bytes,
+        });
+        let before = self.stats;
+        self.record_span(SpanKind::Alloc, label, before, 0);
         Ok(id)
     }
 
@@ -141,6 +239,8 @@ impl Device {
         let bytes = self.memory.size_of(id)?;
         self.memory.free(id)?;
         self.timeline.push(Event::Free { bytes });
+        let before = self.stats;
+        self.record_span(SpanKind::Free, format!("free.{bytes}B"), before, 0);
         Ok(())
     }
 
@@ -170,6 +270,7 @@ impl Device {
                 ),
             })?;
 
+        let before = self.stats;
         self.stats.kernel_launches += 1;
         self.stats.launch_cycles += cost.launch_cycles;
         self.stats.global_bytes_read += q.global_bytes_read;
@@ -183,15 +284,20 @@ impl Device {
         self.stats.barriers += q.barriers;
         self.stats.barrier_cycles += cost.barrier_cycles;
         self.stats.gpu_cycles += cost.total_cycles();
+        debug_assert!(
+            self.stats.cycles_consistent(),
+            "gpu_cycles drifted from its component cycle counters after kernel {label:?}"
+        );
 
         self.timeline.push(Event::Kernel {
-            label,
+            label: label.clone(),
             cycles: cost.total_cycles(),
             global_cycles: cost.global_cycles,
             occupancy: cost.occupancy,
             grid_ctas: dims.grid_ctas,
             threads_per_cta: dims.threads_per_cta,
         });
+        self.record_span(SpanKind::Kernel, label, before, cost.total_cycles());
         Ok(cost)
     }
 
@@ -206,6 +312,7 @@ impl Device {
             return Err(SimError::TransferFault { direction, bytes });
         }
         let seconds = pcie_seconds(&self.config, bytes);
+        let before = self.stats;
         match direction {
             Direction::HostToDevice => {
                 self.stats.h2d_transfers += 1;
@@ -222,13 +329,26 @@ impl Device {
             bytes,
             seconds,
         });
+        self.record_span(
+            SpanKind::Transfer,
+            format!("{direction:?}.{bytes}B"),
+            before,
+            self.config.seconds_to_cycles(seconds),
+        );
         Ok(seconds)
     }
 
     /// Charge simulated wall-clock time spent backing off before a retry.
     pub fn charge_backoff(&mut self, seconds: f64) {
+        let before = self.stats;
         self.stats.backoff_seconds += seconds;
         self.timeline.push(Event::Backoff { seconds });
+        self.record_span(
+            SpanKind::Backoff,
+            "backoff".to_string(),
+            before,
+            self.config.seconds_to_cycles(seconds),
+        );
     }
 
     /// Seconds of GPU computation so far.

@@ -38,6 +38,7 @@ mod occupancy;
 mod pcie;
 mod stats;
 mod timeline;
+mod trace;
 
 pub use config::DeviceConfig;
 pub use cost::{kernel_cost, KernelCost, KernelQuantities, KernelResources, LaunchDims};
@@ -48,4 +49,8 @@ pub use memory::{BufferId, MemoryTracker};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use pcie::{pcie_seconds, Direction};
 pub use stats::SimStats;
-pub use timeline::{cycles_for_label, Event};
+pub use timeline::{cycles_for_label, label_matches, Event};
+pub use trace::{
+    chrome_trace_json, operator_summary, reconcile, sum_deltas, summary_table,
+    validate_chrome_json, OperatorSummary, Span, SpanKind, TraceSink,
+};

@@ -49,6 +49,35 @@ pub struct SimStats {
     pub backoff_seconds: f64,
 }
 
+/// Apply `$op` (a method like `saturating_add`/`saturating_sub`) to every
+/// `u64` counter pair and plain `$fop` to every `f64` pair.
+macro_rules! for_each_counter {
+    ($self:ident, $other:ident, $op:ident, $fop:tt) => {
+        SimStats {
+            kernel_launches: $self.kernel_launches.$op($other.kernel_launches),
+            launch_cycles: $self.launch_cycles.$op($other.launch_cycles),
+            global_bytes_read: $self.global_bytes_read.$op($other.global_bytes_read),
+            global_bytes_written: $self.global_bytes_written.$op($other.global_bytes_written),
+            global_access_cycles: $self.global_access_cycles.$op($other.global_access_cycles),
+            shared_bytes_read: $self.shared_bytes_read.$op($other.shared_bytes_read),
+            shared_bytes_written: $self.shared_bytes_written.$op($other.shared_bytes_written),
+            shared_access_cycles: $self.shared_access_cycles.$op($other.shared_access_cycles),
+            alu_ops: $self.alu_ops.$op($other.alu_ops),
+            alu_cycles: $self.alu_cycles.$op($other.alu_cycles),
+            barriers: $self.barriers.$op($other.barriers),
+            barrier_cycles: $self.barrier_cycles.$op($other.barrier_cycles),
+            gpu_cycles: $self.gpu_cycles.$op($other.gpu_cycles),
+            h2d_transfers: $self.h2d_transfers.$op($other.h2d_transfers),
+            h2d_bytes: $self.h2d_bytes.$op($other.h2d_bytes),
+            d2h_transfers: $self.d2h_transfers.$op($other.d2h_transfers),
+            d2h_bytes: $self.d2h_bytes.$op($other.d2h_bytes),
+            pcie_seconds: $self.pcie_seconds $fop $other.pcie_seconds,
+            faults_injected: $self.faults_injected.$op($other.faults_injected),
+            backoff_seconds: $self.backoff_seconds $fop $other.backoff_seconds,
+        }
+    };
+}
+
 impl SimStats {
     /// Total bytes moved through global memory.
     pub fn global_bytes(&self) -> u64 {
@@ -60,28 +89,34 @@ impl SimStats {
         self.h2d_bytes + self.d2h_bytes
     }
 
-    /// Accumulate another stats block into this one.
+    /// Accumulate another stats block into this one. Counter additions
+    /// saturate: long chunked/retry accumulations clamp at `u64::MAX`
+    /// instead of silently wrapping (and the drift is then caught by
+    /// [`SimStats::cycles_consistent`] in debug builds).
     pub fn merge(&mut self, other: &SimStats) {
-        self.kernel_launches += other.kernel_launches;
-        self.launch_cycles += other.launch_cycles;
-        self.global_bytes_read += other.global_bytes_read;
-        self.global_bytes_written += other.global_bytes_written;
-        self.global_access_cycles += other.global_access_cycles;
-        self.shared_bytes_read += other.shared_bytes_read;
-        self.shared_bytes_written += other.shared_bytes_written;
-        self.shared_access_cycles += other.shared_access_cycles;
-        self.alu_ops += other.alu_ops;
-        self.alu_cycles += other.alu_cycles;
-        self.barriers += other.barriers;
-        self.barrier_cycles += other.barrier_cycles;
-        self.gpu_cycles += other.gpu_cycles;
-        self.h2d_transfers += other.h2d_transfers;
-        self.h2d_bytes += other.h2d_bytes;
-        self.d2h_transfers += other.d2h_transfers;
-        self.d2h_bytes += other.d2h_bytes;
-        self.pcie_seconds += other.pcie_seconds;
-        self.faults_injected += other.faults_injected;
-        self.backoff_seconds += other.backoff_seconds;
+        *self = for_each_counter!(self, other, saturating_add, +);
+    }
+
+    /// The counter-wise difference `self - earlier` (saturating at zero).
+    ///
+    /// Counters only grow, so for two snapshots of the same device this is
+    /// the cost charged between them — the per-span delta recorded by
+    /// [`crate::Device`] tracing.
+    pub fn diff(&self, earlier: &SimStats) -> SimStats {
+        for_each_counter!(self, earlier, saturating_sub, -)
+    }
+
+    /// Whether `gpu_cycles` equals the sum of its component cycle counters
+    /// (launch + global + shared + ALU + barrier). Holds for every honestly
+    /// accumulated stats block; a saturated or hand-edited block breaks it.
+    pub fn cycles_consistent(&self) -> bool {
+        let parts = self
+            .launch_cycles
+            .checked_add(self.global_access_cycles)
+            .and_then(|c| c.checked_add(self.shared_access_cycles))
+            .and_then(|c| c.checked_add(self.alu_cycles))
+            .and_then(|c| c.checked_add(self.barrier_cycles));
+        parts == Some(self.gpu_cycles)
     }
 }
 
@@ -107,5 +142,66 @@ mod tests {
         assert_eq!(a.kernel_launches, 3);
         assert_eq!(a.global_bytes(), 15);
         assert!((a.pcie_seconds - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = SimStats {
+            gpu_cycles: u64::MAX - 10,
+            alu_ops: u64::MAX,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            gpu_cycles: 100,
+            alu_ops: 1,
+            ..SimStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.gpu_cycles, u64::MAX);
+        assert_eq!(a.alu_ops, u64::MAX);
+    }
+
+    #[test]
+    fn diff_recovers_merge() {
+        let a = SimStats {
+            kernel_launches: 3,
+            gpu_cycles: 100,
+            pcie_seconds: 1.5,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            kernel_launches: 1,
+            gpu_cycles: 40,
+            pcie_seconds: 0.5,
+            ..SimStats::default()
+        };
+        let d = a.diff(&b);
+        assert_eq!(d.kernel_launches, 2);
+        assert_eq!(d.gpu_cycles, 60);
+        assert!((d.pcie_seconds - 1.0).abs() < 1e-12);
+        let mut back = b;
+        back.merge(&d);
+        assert_eq!(back.kernel_launches, a.kernel_launches);
+        assert_eq!(back.gpu_cycles, a.gpu_cycles);
+    }
+
+    #[test]
+    fn cycles_consistency() {
+        assert!(SimStats::default().cycles_consistent());
+        let ok = SimStats {
+            launch_cycles: 10,
+            global_access_cycles: 20,
+            shared_access_cycles: 5,
+            alu_cycles: 3,
+            barrier_cycles: 2,
+            gpu_cycles: 40,
+            ..SimStats::default()
+        };
+        assert!(ok.cycles_consistent());
+        let drifted = SimStats {
+            gpu_cycles: 41,
+            ..ok
+        };
+        assert!(!drifted.cycles_consistent());
     }
 }

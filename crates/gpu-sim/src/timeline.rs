@@ -79,11 +79,39 @@ impl Event {
     }
 }
 
-/// Sum the cycles of all kernels whose label contains `needle`.
+/// Whether `label` matches `needle` under delimiter-aware matching: either
+/// the full label equals the needle, or the needle's `.`-separated segments
+/// appear as a contiguous run of the label's segments.
+///
+/// Substring matching is deliberately *not* used: `"join"` must not count
+/// `"n5.semijoin.compute"` kernels, which a `contains`-based filter silently
+/// did.
+///
+/// ```
+/// use kw_gpu_sim::label_matches;
+/// assert!(label_matches("n7.sort.pass3", "sort"));
+/// assert!(label_matches("n7.sort.pass3", "n7.sort"));
+/// assert!(!label_matches("n5.semijoin.compute", "join"));
+/// assert!(!label_matches("n7.sort.pass3", "sort.compute"));
+/// ```
+pub fn label_matches(label: &str, needle: &str) -> bool {
+    if label == needle {
+        return true;
+    }
+    let segs: Vec<&str> = label.split('.').collect();
+    let want: Vec<&str> = needle.split('.').filter(|s| !s.is_empty()).collect();
+    if want.is_empty() || want.len() > segs.len() {
+        return false;
+    }
+    segs.windows(want.len()).any(|w| w == want.as_slice())
+}
+
+/// Sum the cycles of all kernels whose label matches `needle` (see
+/// [`label_matches`] — exact segment matching, not substring).
 pub fn cycles_for_label(events: &[Event], needle: &str) -> u64 {
     events
         .iter()
-        .filter(|e| e.kernel_label().is_some_and(|l| l.contains(needle)))
+        .filter(|e| e.kernel_label().is_some_and(|l| label_matches(l, needle)))
         .map(Event::cycles)
         .sum()
 }
@@ -113,5 +141,34 @@ mod tests {
         assert_eq!(cycles_for_label(&events, "sort"), 30);
         assert_eq!(cycles_for_label(&events, "select"), 5);
         assert_eq!(events[3].cycles(), 0);
+    }
+
+    #[test]
+    fn matching_is_segment_exact_not_substring() {
+        let occ = occupancy(&DeviceConfig::fermi_c2050(), 256, 20, 0);
+        let mk = |label: &str, cycles| Event::Kernel {
+            label: label.into(),
+            cycles,
+            global_cycles: 0,
+            occupancy: occ,
+            grid_ctas: 1,
+            threads_per_cta: 256,
+        };
+        let events = vec![
+            mk("n4.join.compute", 100),
+            mk("n5.semijoin.compute", 10),
+            mk("n6.antijoin.gather", 1),
+        ];
+        // "join" previously (substring matching) counted all three.
+        assert_eq!(cycles_for_label(&events, "join"), 100);
+        assert_eq!(cycles_for_label(&events, "semijoin"), 10);
+        // Dotted needles match contiguous segment runs, with or without the
+        // legacy surrounding dots.
+        assert_eq!(cycles_for_label(&events, "n4.join"), 100);
+        assert_eq!(cycles_for_label(&events, ".join."), 100);
+        assert_eq!(cycles_for_label(&events, "join.gather"), 0);
+        // A needle longer than the label never matches.
+        assert!(!label_matches("sort", "n7.sort"));
+        assert!(label_matches("sort", "sort"));
     }
 }

@@ -1,0 +1,138 @@
+//! Integration tests for the structured tracing layer: determinism of the
+//! Chrome trace export, the reconciliation invariant (per-span deltas sum
+//! to the aggregate `SimStats`) for fused and unfused runs under fault
+//! injection, and the fusion signature visible in the spans themselves.
+
+use kw_core::{execute_resilient, RetryPolicy, WeaverConfig};
+use kw_gpu_sim::{
+    chrome_trace_json, reconcile, validate_chrome_json, Device, DeviceConfig, FaultConfig, SpanKind,
+};
+use kw_tpch::Workload;
+
+fn q1() -> Workload {
+    kw_tpch::q1(2.0, 7)
+}
+
+fn run(w: &Workload, fusion: bool) -> (Device, kw_core::PlanReport) {
+    let config = WeaverConfig {
+        fusion,
+        ..WeaverConfig::default()
+    };
+    let mut dev = Device::new(DeviceConfig::fermi_c2050());
+    let report = w.run(&mut dev, &config).expect("q1 executes");
+    (dev, report)
+}
+
+#[test]
+fn identical_runs_export_byte_identical_traces() {
+    let w = q1();
+    let (d1, _) = run(&w, true);
+    let (d2, _) = run(&w, true);
+    let j1 = chrome_trace_json(d1.spans(), d1.config().clock_ghz);
+    let j2 = chrome_trace_json(d2.spans(), d2.config().clock_ghz);
+    assert_eq!(j1, j2, "trace export must be deterministic");
+    validate_chrome_json(&j1).expect("valid Chrome trace JSON");
+}
+
+#[test]
+fn per_span_deltas_sum_to_aggregate_stats() {
+    let w = q1();
+    for fusion in [true, false] {
+        let (dev, report) = run(&w, fusion);
+        // Both the device's live log and the PlanReport snapshot reconcile.
+        reconcile(dev.spans(), dev.stats())
+            .unwrap_or_else(|e| panic!("device (fusion={fusion}): {e}"));
+        reconcile(&report.spans, &report.stats)
+            .unwrap_or_else(|e| panic!("report (fusion={fusion}): {e}"));
+    }
+}
+
+#[test]
+fn traces_reconcile_under_fault_injection() {
+    let w = q1();
+    // Generous budget with gentle backoff: at a 10% per-op fault rate most
+    // attempts see at least one fault, so retries stack up well past the
+    // default budget of 4.
+    let policy = RetryPolicy {
+        max_retries: 64,
+        base_backoff_seconds: 1e-4,
+        backoff_multiplier: 1.1,
+    };
+    let mut reports = Vec::new();
+    for fusion in [true, false] {
+        let config = WeaverConfig {
+            fusion,
+            ..WeaverConfig::default()
+        };
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        dev.inject_faults(FaultConfig::uniform(0xC2050, 0.10));
+        let report = execute_resilient(&w.plan, &w.bindings(), &mut dev, &config, &policy)
+            .expect("resilient q1 under faults");
+        // The span log covers the whole resilient episode: failed attempts,
+        // fault markers, backoff, and the attempt that landed. Its deltas
+        // must still sum exactly to the device's aggregate counters.
+        reconcile(dev.spans(), dev.stats())
+            .unwrap_or_else(|e| panic!("faulted device (fusion={fusion}): {e}"));
+        reconcile(&report.spans, &report.stats)
+            .unwrap_or_else(|e| panic!("faulted report (fusion={fusion}): {e}"));
+
+        let res = report.resilience.as_ref().expect("resilience report");
+        if res.faults_survived > 0 {
+            assert!(
+                report.spans.iter().any(|s| s.kind == SpanKind::Fault),
+                "survived faults must appear as fault spans (fusion={fusion})"
+            );
+            assert!(
+                report.spans.iter().any(|s| s.kind == SpanKind::Backoff),
+                "retries must appear as backoff spans (fusion={fusion})"
+            );
+            // Retry provenance frames mark which attempt each span fed.
+            assert!(
+                report
+                    .spans
+                    .iter()
+                    .any(|s| s.provenance.starts_with("attempt")),
+                "spans must carry attempt provenance (fusion={fusion})"
+            );
+        }
+        let json = chrome_trace_json(&report.spans, 1.15);
+        validate_chrome_json(&json).expect("faulted trace exports valid JSON");
+        reports.push(report);
+    }
+    assert_eq!(
+        reports[0].outputs, reports[1].outputs,
+        "fault injection changed the answer"
+    );
+}
+
+#[test]
+fn fused_trace_has_fewer_kernel_spans_and_less_global_traffic() {
+    let w = q1();
+    let (fused_dev, fused) = run(&w, true);
+    let (base_dev, base) = run(&w, false);
+    assert_eq!(fused.outputs, base.outputs);
+
+    let kernels = |d: &Device| {
+        d.spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Kernel)
+            .count()
+    };
+    assert!(
+        kernels(&fused_dev) < kernels(&base_dev),
+        "fused {} vs baseline {}",
+        kernels(&fused_dev),
+        kernels(&base_dev)
+    );
+    assert!(
+        fused.stats.global_bytes() < base.stats.global_bytes(),
+        "fused {} vs baseline {}",
+        fused.stats.global_bytes(),
+        base.stats.global_bytes()
+    );
+    // Fusion-candidate provenance flows from the compiler into span labels.
+    assert!(fused_dev
+        .spans()
+        .iter()
+        .any(|s| s.provenance.contains("fused[")));
+}
