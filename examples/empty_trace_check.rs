@@ -1,0 +1,8 @@
+fn main() {
+    let json = kw_gpu_sim::chrome_trace_json(&[], 1.15);
+    println!("--- json ---\n{json}--- end ---");
+    match kw_gpu_sim::validate_chrome_json(&json) {
+        Ok(n) => println!("valid, {n} events"),
+        Err(e) => println!("INVALID: {e}"),
+    }
+}
