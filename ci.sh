@@ -12,6 +12,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo build --release"
+# The tier-1 gate builds release before testing; catching release-only
+# breakage (e.g. debug_assert-guarded code) locally keeps CI honest.
+cargo build --release --workspace
+
 echo "== cargo test -q"
 cargo test --workspace -q
 
@@ -25,5 +30,10 @@ cargo run -q -p kw-examples --example trace -- "$trace_dir" > /dev/null
 for f in "$trace_dir"/q1.fused.trace.json "$trace_dir"/q1.baseline.trace.json; do
     [ -s "$f" ] || { echo "missing trace export: $f" >&2; exit 1; }
 done
+
+echo "== trace writer edge cases (examples/empty_trace_check.rs)"
+# Empty span lists must serialize to well-formed JSON (regression: trailing
+# comma) and a one-span trace must validate; exits non-zero on INVALID.
+cargo run -q -p kw-examples --example empty_trace_check
 
 echo "CI OK"

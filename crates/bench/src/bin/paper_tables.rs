@@ -12,8 +12,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use kw_bench::experiments::{
-    ablations, capacity, density, fig04, fig16, fig17, fig18, fig19, fig20, fig21, platforms,
-    queries, robustness, table2, table3, trace,
+    ablations, capacity, density, fig04, fig16, fig17, fig18, fig19, fig20, fig21, overlap,
+    platforms, queries, robustness, table2, table3, trace,
 };
 
 fn main() {
@@ -411,6 +411,54 @@ fn main() {
             "  GPU over 4-core CPU, pattern (a): {base_ratio:.1}x unfused, {fused_ratio:.1}x \
              fused (paper band: 4x-40x, fusion widens it)\n"
         );
+    });
+
+    run(&["overlap"], &|| {
+        section("Stream overlap: fusion x double buffering (chunked, staged)");
+        println!(
+            "{:>5}  {:>11}  {:>11}  {:>11}  {:>11}  {:>9}",
+            "pat", "fused ser", "fused pipe", "base ser", "base pipe", "composed"
+        );
+        let rows = overlap::run(
+            &[
+                kw_tpch::Pattern::A,
+                kw_tpch::Pattern::D,
+                kw_tpch::Pattern::E,
+            ],
+            1 << 20,
+            8,
+        );
+        for r in &rows {
+            println!(
+                "{:>5}  {:>8.3} ms  {:>8.3} ms  {:>8.3} ms  {:>8.3} ms  {:>8.2}x",
+                r.pattern.label(),
+                r.fused_serialized * 1e3,
+                r.fused_pipelined * 1e3,
+                r.base_serialized * 1e3,
+                r.base_pipelined * 1e3,
+                r.composed_speedup()
+            );
+        }
+        println!("  (pipelined wallclock is the device stream graph's makespan;");
+        println!("   on transfer-bound (d), fused-chunked < unfused-chunked < fused-serialized)");
+        csv(
+            "overlap.csv",
+            "pattern,fused_serialized,fused_pipelined,base_serialized,base_pipelined",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},{},{}",
+                        r.pattern.label(),
+                        r.fused_serialized,
+                        r.fused_pipelined,
+                        r.base_serialized,
+                        r.base_pipelined
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!();
     });
 
     run(&["ablations"], &|| {

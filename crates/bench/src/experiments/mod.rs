@@ -14,6 +14,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod fig21;
+pub mod overlap;
 pub mod platforms;
 pub mod queries;
 pub mod robustness;

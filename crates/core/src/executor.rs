@@ -45,8 +45,20 @@ pub struct PlanReport {
     pub gpu_seconds: f64,
     /// PCIe transfer time, seconds.
     pub pcie_seconds: f64,
-    /// End-to-end time, seconds.
+    /// End-to-end time, seconds. For streamed (chunked) executions this is
+    /// the overlap-aware wallclock; compare with
+    /// [`PlanReport::serialized_seconds`] for the no-overlap cost.
     pub total_seconds: f64,
+    /// End-to-end seconds with every transfer serialized against compute —
+    /// what the same schedule would cost without copy/compute overlap.
+    /// Equals [`PlanReport::total_seconds`] for non-streamed (Resident /
+    /// Staged) executions, where nothing overlaps.
+    pub serialized_seconds: f64,
+    /// Overlap-aware wallclock from the device-level stream/event graph,
+    /// `Some` only when the run was streamed (the resilient driver's
+    /// chunked rung). Excludes retry backoff; `None` means nothing was
+    /// overlapped.
+    pub pipelined_seconds: Option<f64>,
     /// Raw simulator counters.
     pub stats: SimStats,
     /// Peak device global memory allocated, bytes (Figure 17).
@@ -342,6 +354,8 @@ fn run_compiled(
         gpu_seconds: device.gpu_seconds(),
         pcie_seconds: device.pcie_secs(),
         total_seconds: device.total_seconds(),
+        serialized_seconds: device.total_seconds(),
+        pipelined_seconds: None,
         stats: *device.stats(),
         peak_device_bytes: device.memory().peak(),
         fusion_sets: compiled.fusion_sets.clone(),

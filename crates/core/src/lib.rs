@@ -70,7 +70,9 @@ pub use admission::{admit, AdmissionReport, AdmittedMode, MAX_CHUNKS};
 pub use candidates::{
     find_candidates, is_input_node, is_weavable, kernel_boundaries, FusionOptions,
 };
-pub use chunked::{execute_chunked, execute_chunked_compiled, is_elementwise, ChunkedReport};
+pub use chunked::{
+    execute_chunked, execute_chunked_compiled, is_elementwise, pipeline_makespan, ChunkedReport,
+};
 pub use compile::{compile, CompiledPlan, CompiledStep, WeaverConfig};
 pub use dot::plan_to_dot;
 pub use error::{Result, WeaverError};

@@ -183,6 +183,8 @@ pub fn execute_compiled_resilient(
                         gpu_seconds: r.gpu_seconds,
                         pcie_seconds: r.pcie_seconds,
                         total_seconds: r.pipelined_seconds + backoff_seconds,
+                        serialized_seconds: r.serialized_seconds + backoff_seconds,
+                        pipelined_seconds: Some(r.pipelined_seconds),
                         stats: *device.stats(),
                         peak_device_bytes: r.peak_device_bytes,
                         fusion_sets: compiled.fusion_sets.clone(),

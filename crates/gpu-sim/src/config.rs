@@ -64,6 +64,11 @@ pub struct DeviceConfig {
     pub pcie_bandwidth_gbs: f64,
     /// PCIe per-transfer latency, microseconds.
     pub pcie_latency_us: f64,
+    /// Number of compute engines for streamed kernel launches. Fermi has a
+    /// single kernel dispatcher, so streamed kernels serialize (1); raising
+    /// this models later hardware where kernels from different streams
+    /// overlap. The H2D/D2H copy engines are always separate.
+    pub compute_engines: u32,
 }
 
 impl DeviceConfig {
@@ -92,6 +97,7 @@ impl DeviceConfig {
             bandwidth_saturation_occupancy: 0.25,
             pcie_bandwidth_gbs: 8.0,
             pcie_latency_us: 10.0,
+            compute_engines: 1,
         }
     }
 

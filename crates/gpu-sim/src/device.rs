@@ -4,9 +4,9 @@
 //! the single place where kernel launches and PCIe transfers are charged.
 
 use crate::{
-    kernel_cost, pcie_seconds, BufferId, DeviceConfig, Direction, Event, FaultConfig,
-    FaultInjector, FaultKind, KernelCost, KernelQuantities, KernelResources, LaunchDims,
-    MemoryTracker, Result, SimError, SimStats, Span, SpanKind,
+    kernel_cost, pcie_seconds, BufferId, DeviceConfig, Direction, Engine, Event, EventId,
+    FaultConfig, FaultInjector, FaultKind, KernelCost, KernelQuantities, KernelResources,
+    LaunchDims, MemoryTracker, Result, SimError, SimStats, Span, SpanKind, StreamId, StreamModel,
 };
 
 /// A simulated GPU.
@@ -45,12 +45,15 @@ pub struct Device {
     /// Running sum of span deltas; must always equal `stats` (the
     /// reconciliation invariant, asserted in debug builds).
     reconciled: SimStats,
+    /// Stream/event scheduler for overlapped (asynchronous) operations.
+    streams: StreamModel,
 }
 
 impl Device {
     /// Create a device with the given configuration.
     pub fn new(config: DeviceConfig) -> Device {
         let memory = MemoryTracker::new(config.global_mem_bytes);
+        let streams = StreamModel::new(config.compute_engines);
         Device {
             config,
             memory,
@@ -61,6 +64,7 @@ impl Device {
             scope: Vec::new(),
             clock_cycles: 0,
             reconciled: SimStats::default(),
+            streams,
         }
     }
 
@@ -120,12 +124,28 @@ impl Device {
         before: SimStats,
         duration_cycles: u64,
     ) {
-        let delta = self.stats.diff(&before);
         let start_cycle = self.clock_cycles;
         // Saturate like SimStats::merge: a pathological duration (e.g. an
         // exponential backoff that left f64 range) clamps instead of
         // wrapping the clock backwards.
         self.clock_cycles = self.clock_cycles.saturating_add(duration_cycles);
+        self.record_span_at(kind, label, before, start_cycle, self.clock_cycles);
+    }
+
+    /// Record one span with an explicit `[start, end)` cycle interval
+    /// (streamed operations: the interval comes from the stream scheduler,
+    /// and the serial trace clock does NOT advance — issuing async work is
+    /// free; only [`Device::sync_streams`] moves the clock). The span delta
+    /// still feeds the reconciliation invariant.
+    fn record_span_at(
+        &mut self,
+        kind: SpanKind,
+        label: String,
+        before: SimStats,
+        start_cycle: u64,
+        end_cycle: u64,
+    ) {
+        let delta = self.stats.diff(&before);
         self.reconciled.merge(&delta);
         self.spans.push(Span {
             id: self.spans.len() as u64,
@@ -133,7 +153,7 @@ impl Device {
             label,
             provenance: self.scope.join("/"),
             start_cycle,
-            end_cycle: self.clock_cycles,
+            end_cycle,
             delta,
         });
         #[cfg(debug_assertions)]
@@ -199,14 +219,16 @@ impl Device {
         &self.timeline
     }
 
-    /// Reset statistics, timeline, trace spans and the trace clock
-    /// (allocations and the provenance scope stack survive).
+    /// Reset statistics, timeline, trace spans, the trace clock and the
+    /// stream scheduler (allocations and the provenance scope stack
+    /// survive; outstanding [`StreamId`]/[`EventId`] handles go stale).
     pub fn reset_stats(&mut self) {
         self.stats = SimStats::default();
         self.timeline.clear();
         self.spans.clear();
         self.clock_cycles = 0;
         self.reconciled = SimStats::default();
+        self.streams.reset();
     }
 
     /// Allocate a global-memory buffer.
@@ -259,8 +281,26 @@ impl Device {
         q: &KernelQuantities,
     ) -> Result<KernelCost> {
         let label = label.into();
-        if self.fault_fires(FaultKind::Launch, &label) {
-            return Err(SimError::LaunchFault { label });
+        let (before, cost) = self.charge_kernel(&label, dims, res, q)?;
+        self.record_span(SpanKind::Kernel, label, before, cost.total_cycles());
+        Ok(cost)
+    }
+
+    /// Fault-check, price and charge one kernel execution to the stats and
+    /// timeline. Span recording is left to the caller: serial launches
+    /// advance the trace clock, streamed launches take their interval from
+    /// the stream scheduler.
+    fn charge_kernel(
+        &mut self,
+        label: &str,
+        dims: LaunchDims,
+        res: KernelResources,
+        q: &KernelQuantities,
+    ) -> Result<(SimStats, KernelCost)> {
+        if self.fault_fires(FaultKind::Launch, label) {
+            return Err(SimError::LaunchFault {
+                label: label.to_string(),
+            });
         }
         let cost =
             kernel_cost(&self.config, dims, res, q).ok_or_else(|| SimError::InfeasibleLaunch {
@@ -290,15 +330,14 @@ impl Device {
         );
 
         self.timeline.push(Event::Kernel {
-            label: label.clone(),
+            label: label.to_string(),
             cycles: cost.total_cycles(),
             global_cycles: cost.global_cycles,
             occupancy: cost.occupancy,
             grid_ctas: dims.grid_ctas,
             threads_per_cta: dims.threads_per_cta,
         });
-        self.record_span(SpanKind::Kernel, label, before, cost.total_cycles());
-        Ok(cost)
+        Ok((before, cost))
     }
 
     /// Charge a PCIe transfer and record it. Returns the transfer seconds.
@@ -308,6 +347,20 @@ impl Device {
     /// Returns [`SimError::TransferFault`] when an injected transient fault
     /// fires; the failed transfer is charged nothing.
     pub fn transfer(&mut self, direction: Direction, bytes: u64) -> Result<f64> {
+        let (before, seconds) = self.charge_transfer(direction, bytes)?;
+        self.record_span(
+            SpanKind::Transfer,
+            format!("{direction:?}.{bytes}B"),
+            before,
+            self.config.seconds_to_cycles(seconds),
+        );
+        Ok(seconds)
+    }
+
+    /// Fault-check, price and charge one PCIe transfer to the stats and
+    /// timeline (span recording left to the caller, as with
+    /// [`Device::charge_kernel`]).
+    fn charge_transfer(&mut self, direction: Direction, bytes: u64) -> Result<(SimStats, f64)> {
         if self.fault_fires(FaultKind::Transfer, &format!("{direction:?}")) {
             return Err(SimError::TransferFault { direction, bytes });
         }
@@ -329,13 +382,7 @@ impl Device {
             bytes,
             seconds,
         });
-        self.record_span(
-            SpanKind::Transfer,
-            format!("{direction:?}.{bytes}B"),
-            before,
-            self.config.seconds_to_cycles(seconds),
-        );
-        Ok(seconds)
+        Ok((before, seconds))
     }
 
     /// Charge simulated wall-clock time spent backing off before a retry.
@@ -349,6 +396,171 @@ impl Device {
             before,
             self.config.seconds_to_cycles(seconds),
         );
+    }
+
+    // ---- streams & events (asynchronous, overlapped execution) ----
+
+    /// Create a new stream. Operations issued to it via
+    /// [`Device::launch_on`] / [`Device::transfer_on`] execute in issue
+    /// order but overlap with other streams wherever the engines allow.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.streams.create_stream()
+    }
+
+    /// The stream scheduler: scheduled operations, per-engine busy
+    /// intervals, and the event-graph makespan.
+    pub fn streams(&self) -> &StreamModel {
+        &self.streams
+    }
+
+    /// Launch a kernel asynchronously on `stream`.
+    ///
+    /// Charges exactly what [`Device::launch`] charges (stats, timeline,
+    /// fault injection, reconcilable span), but the span's interval comes
+    /// from the stream scheduler and the serial trace clock does not
+    /// advance — call [`Device::sync_streams`] to realize the wallclock.
+    ///
+    /// # Errors
+    ///
+    /// As [`Device::launch`], plus [`SimError::InvalidStream`] for a stale
+    /// stream handle.
+    pub fn launch_on(
+        &mut self,
+        stream: StreamId,
+        label: impl Into<String>,
+        dims: LaunchDims,
+        res: KernelResources,
+        q: &KernelQuantities,
+    ) -> Result<KernelCost> {
+        let label = label.into();
+        self.streams.validate(stream)?;
+        let (before, cost) = self.charge_kernel(&label, dims, res, q)?;
+        let engine = self.streams.compute_engine(stream);
+        let (start, end) = self.streams.schedule(
+            stream,
+            engine,
+            label.clone(),
+            cost.total_cycles(),
+            self.clock_cycles,
+        )?;
+        self.record_span_at(SpanKind::Kernel, label, before, start, end);
+        Ok(cost)
+    }
+
+    /// Issue a PCIe transfer asynchronously on `stream`; it occupies the
+    /// dedicated copy engine for its direction, overlapping compute and
+    /// the opposite-direction engine. Returns the transfer seconds.
+    ///
+    /// # Errors
+    ///
+    /// As [`Device::transfer`], plus [`SimError::InvalidStream`] for a
+    /// stale stream handle.
+    pub fn transfer_on(
+        &mut self,
+        stream: StreamId,
+        direction: Direction,
+        bytes: u64,
+    ) -> Result<f64> {
+        self.streams.validate(stream)?;
+        let (before, seconds) = self.charge_transfer(direction, bytes)?;
+        let engine = match direction {
+            Direction::HostToDevice => Engine::CopyH2D,
+            Direction::DeviceToHost => Engine::CopyD2H,
+        };
+        let label = format!("{direction:?}.{bytes}B");
+        let (start, end) = self.streams.schedule(
+            stream,
+            engine,
+            label.clone(),
+            self.config.seconds_to_cycles(seconds),
+            self.clock_cycles,
+        )?;
+        self.record_span_at(SpanKind::Transfer, label, before, start, end);
+        Ok(seconds)
+    }
+
+    /// Charge an externally-priced block of compute to this device and
+    /// schedule it on `stream`'s compute engine for `duration_cycles`.
+    ///
+    /// Chunked execution prices each chunk on a scratch device and uses
+    /// this to mirror the chunk's kernel-side counters into the parent's
+    /// stats/trace as one streamed compute span. `delta` must be
+    /// compute-only (no transfer or fault counters — those are mirrored
+    /// separately as real streamed transfers, and double counting would
+    /// break the reconciliation invariant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidStream`] for a stale stream handle.
+    pub fn compute_on(
+        &mut self,
+        stream: StreamId,
+        label: impl Into<String>,
+        delta: &SimStats,
+        duration_cycles: u64,
+    ) -> Result<()> {
+        let label = label.into();
+        self.streams.validate(stream)?;
+        debug_assert!(
+            delta.h2d_transfers == 0
+                && delta.d2h_transfers == 0
+                && delta.h2d_bytes == 0
+                && delta.d2h_bytes == 0
+                && delta.pcie_seconds == 0.0
+                && delta.faults_injected == 0
+                && delta.backoff_seconds == 0.0,
+            "compute_on delta must be compute-only: {delta:?}"
+        );
+        let before = self.stats;
+        self.stats.merge(delta);
+        debug_assert!(
+            self.stats.cycles_consistent(),
+            "mirrored compute delta broke cycle consistency for {label:?}"
+        );
+        let engine = self.streams.compute_engine(stream);
+        let (start, end) = self.streams.schedule(
+            stream,
+            engine,
+            label.clone(),
+            duration_cycles,
+            self.clock_cycles,
+        )?;
+        self.record_span_at(SpanKind::Kernel, label, before, start, end);
+        Ok(())
+    }
+
+    /// Record an event on `stream` (see [`StreamModel::record_event`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidStream`] for a stale stream handle.
+    pub fn record_event(&mut self, stream: StreamId) -> Result<EventId> {
+        self.streams.record_event(stream)
+    }
+
+    /// Make `stream` wait for `event` (see [`StreamModel::wait_event`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidStream`] for a stale stream or event.
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> Result<()> {
+        self.streams.wait_event(stream, event)
+    }
+
+    /// Block until all streamed work has finished: the serial trace clock
+    /// advances to the stream makespan (it never moves backwards). Returns
+    /// the new clock. Call this before reading wallclock after streamed
+    /// work, and on error paths so retries start from a settled clock.
+    pub fn sync_streams(&mut self) -> u64 {
+        self.clock_cycles = self.clock_cycles.max(self.streams.makespan());
+        self.clock_cycles
+    }
+
+    /// The cycle at which all work — serial and streamed — has finished:
+    /// the serial trace clock joined with the per-engine busy intervals of
+    /// the stream scheduler.
+    pub fn makespan(&self) -> u64 {
+        self.clock_cycles.max(self.streams.makespan())
     }
 
     /// Seconds of GPU computation so far.
@@ -513,6 +725,104 @@ mod tests {
         d.charge_backoff(0.125);
         assert!((d.total_seconds() - before - 0.125).abs() < 1e-12);
         assert!(matches!(d.timeline()[0], Event::Backoff { .. }));
+    }
+
+    #[test]
+    fn streamed_pipeline_overlaps_and_reconciles() {
+        let mut d = device();
+        let res = KernelResources {
+            registers_per_thread: 20,
+            shared_per_cta: 0,
+        };
+        let mut serialized_cycles = 0u64;
+        for i in 0..3 {
+            let s = d.create_stream();
+            let up = d.transfer_on(s, Direction::HostToDevice, 1 << 24).unwrap();
+            let cost = d
+                .launch_on(
+                    s,
+                    format!("k{i}"),
+                    LaunchDims::new(4096, 256),
+                    res,
+                    &quantities(1 << 24),
+                )
+                .unwrap();
+            let down = d.transfer_on(s, Direction::DeviceToHost, 1 << 24).unwrap();
+            serialized_cycles += d.config().seconds_to_cycles(up)
+                + cost.total_cycles()
+                + d.config().seconds_to_cycles(down);
+        }
+        // Issuing async work is free; sync realizes the makespan.
+        assert_eq!(d.clock_cycles(), 0);
+        let end = d.sync_streams();
+        assert_eq!(end, d.makespan());
+        assert!(
+            end > 0 && end < serialized_cycles,
+            "{end} vs {serialized_cycles}"
+        );
+        let busiest = *d.streams().engine_busy().values().max().unwrap();
+        assert!(end >= busiest);
+        // Streamed spans still reconcile with the aggregate counters.
+        crate::reconcile(d.spans(), d.stats()).unwrap();
+        assert_eq!(d.stats().kernel_launches, 3);
+        assert_eq!(d.stats().h2d_transfers, 3);
+        assert_eq!(d.spans().len(), 9);
+    }
+
+    #[test]
+    fn streamed_ops_respect_issue_clock_floor() {
+        let mut d = device();
+        // Serial work first: the clock has advanced when the stream starts.
+        d.transfer(Direction::HostToDevice, 1 << 20).unwrap();
+        let floor = d.clock_cycles();
+        assert!(floor > 0);
+        let s = d.create_stream();
+        d.transfer_on(s, Direction::HostToDevice, 1 << 20).unwrap();
+        let op = d.streams().ops().last().unwrap().clone();
+        assert!(
+            op.start_cycle >= floor,
+            "async work cannot predate its issue"
+        );
+    }
+
+    #[test]
+    fn streamed_transfer_faults_fire() {
+        let mut d = device();
+        d.inject_faults(crate::FaultConfig::scripted(vec![crate::ScriptedFault {
+            kind: crate::FaultKind::Transfer,
+            attempt: 0,
+        }]));
+        let s = d.create_stream();
+        let err = d
+            .transfer_on(s, Direction::HostToDevice, 1 << 20)
+            .unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(d.stats().h2d_transfers, 0);
+        assert_eq!(d.stats().faults_injected, 1);
+        // Retry on the same stream succeeds.
+        assert!(d.transfer_on(s, Direction::HostToDevice, 1 << 20).is_ok());
+        crate::reconcile(d.spans(), d.stats()).unwrap();
+    }
+
+    #[test]
+    fn compute_on_rejects_stale_stream_and_charges_delta() {
+        let mut d = device();
+        let s = d.create_stream();
+        let delta = SimStats {
+            kernel_launches: 2,
+            gpu_cycles: 1000,
+            launch_cycles: 1000,
+            ..SimStats::default()
+        };
+        d.compute_on(s, "chunk0.compute", &delta, 1500).unwrap();
+        assert_eq!(d.stats().kernel_launches, 2);
+        assert_eq!(d.sync_streams(), 1500);
+        crate::reconcile(d.spans(), d.stats()).unwrap();
+
+        d.reset_stats();
+        let err = d.compute_on(s, "stale", &delta, 10).unwrap_err();
+        assert!(matches!(err, SimError::InvalidStream { .. }));
+        assert_eq!(d.stats().kernel_launches, 0, "stale handle charges nothing");
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub enum SimError {
         /// Bytes requested.
         requested: u64,
     },
+    /// A stream or event handle that does not belong to this device's
+    /// stream model (stale after `reset_stats`, or from another device).
+    InvalidStream {
+        /// Human-readable description of the bad handle.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -96,6 +102,9 @@ impl fmt::Display for SimError {
             SimError::AllocFault { requested } => {
                 write!(f, "transient allocation fault: {requested} bytes")
             }
+            SimError::InvalidStream { detail } => {
+                write!(f, "invalid stream or event handle: {detail}")
+            }
         }
     }
 }
@@ -136,6 +145,10 @@ mod tests {
         assert!(!oom.is_transient());
         assert!(oom.is_capacity());
         assert!(!SimError::InvalidBuffer { id: 1 }.is_transient());
+        let bad_stream = SimError::InvalidStream {
+            detail: "stream 9".into(),
+        };
+        assert!(!bad_stream.is_transient() && !bad_stream.is_capacity());
         assert!(!SimError::InfeasibleLaunch {
             detail: String::new()
         }

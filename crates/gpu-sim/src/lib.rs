@@ -37,6 +37,7 @@ mod memory;
 mod occupancy;
 mod pcie;
 mod stats;
+mod stream;
 mod timeline;
 mod trace;
 
@@ -49,6 +50,7 @@ pub use memory::{BufferId, MemoryTracker};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use pcie::{pcie_seconds, Direction};
 pub use stats::SimStats;
+pub use stream::{Engine, EventId, StreamId, StreamModel, StreamOp};
 pub use timeline::{cycles_for_label, label_matches, Event};
 pub use trace::{
     chrome_trace_json, operator_summary, reconcile, sum_deltas, summary_table,

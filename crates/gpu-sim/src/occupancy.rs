@@ -53,7 +53,18 @@ pub fn occupancy(
     registers_per_thread: u32,
     shared_per_cta: u32,
 ) -> Occupancy {
-    let threads = threads_per_cta.max(1).min(cfg.max_threads_per_cta);
+    // A CTA larger than the hardware limit cannot launch at all. Silently
+    // clamping here used to make oversized kernels look feasible (and
+    // cheap); report them infeasible like the real occupancy calculator.
+    if threads_per_cta > cfg.max_threads_per_cta {
+        return Occupancy {
+            ctas_per_sm: 0,
+            warps_per_sm: 0,
+            occupancy: 0.0,
+            limiter: OccupancyLimiter::Infeasible,
+        };
+    }
+    let threads = threads_per_cta.max(1);
     let warps_per_cta = threads.div_ceil(cfg.warp_size);
 
     // CTA slot limit.
@@ -147,6 +158,20 @@ mod tests {
 
         let o = occupancy(&cfg(), 256, 20, 64 * 1024);
         assert_eq!(o.limiter, OccupancyLimiter::Infeasible);
+    }
+
+    #[test]
+    fn oversized_cta_is_infeasible_not_clamped() {
+        // Regression: 2048 threads/CTA used to be silently clamped to the
+        // 1024 hardware limit and reported as a feasible launch.
+        let o = occupancy(&cfg(), 2048, 16, 0);
+        assert_eq!(o.ctas_per_sm, 0);
+        assert_eq!(o.warps_per_sm, 0);
+        assert_eq!(o.occupancy, 0.0);
+        assert_eq!(o.limiter, OccupancyLimiter::Infeasible);
+        // The limit itself is still feasible.
+        let at_limit = occupancy(&cfg(), cfg().max_threads_per_cta, 16, 0);
+        assert!(at_limit.ctas_per_sm > 0);
     }
 
     #[test]

@@ -335,6 +335,12 @@ pub fn chrome_trace_json(spans: &[Span], clock_ghz: f64) -> String {
              \"args\":{{\"name\":\"{name}\"}}}},"
         );
     }
+    if spans.is_empty() {
+        // No span events follow: drop the last metadata line's trailing
+        // comma (",\n") so the array stays well-formed JSON.
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
     for (i, s) in spans.iter().enumerate() {
         let d = &s.delta;
         let args = format!(
@@ -727,6 +733,17 @@ mod tests {
             global_bytes_read: bytes,
             ..SimStats::default()
         }
+    }
+
+    #[test]
+    fn empty_span_list_exports_well_formed_json() {
+        // Regression: the metadata lines used to leave a trailing comma
+        // when no span events followed, producing syntactically invalid
+        // JSON. An empty trace is still *semantically* empty — the
+        // validator reports "no events", not a parse error.
+        let json = chrome_trace_json(&[], 1.15);
+        let err = validate_chrome_json(&json).unwrap_err();
+        assert_eq!(err, "trace contains no events", "got: {err}");
     }
 
     #[test]

@@ -117,7 +117,7 @@ fn execute_streaming(
     opt: OptLevel,
 ) -> Result<ExecResult> {
     let resources = estimate_resources(op, inferred, opt)?;
-    let threads = op.threads_per_cta;
+    let threads = cta_threads(op, device);
 
     let pivot_index = match partition {
         PartitionSpec::Even | PartitionSpec::ReplicateRight => 0,
@@ -520,6 +520,17 @@ fn execute_sort(
     })
 }
 
+/// CTA size for `op` on `device`: the operator's preferred size, shrunk to
+/// the device's hardware limit. This is an explicit code-generation choice
+/// (smaller targets like the CPU-via-Ocelot config allow only 64-thread
+/// CTAs); the occupancy calculator itself no longer clamps — it reports an
+/// oversized launch as infeasible.
+fn cta_threads(op: &GpuOperator, device: &Device) -> u32 {
+    op.threads_per_cta
+        .max(1)
+        .min(device.config().max_threads_per_cta)
+}
+
 /// Charge a multi-pass radix sort over `input` and return kernels launched.
 fn sort_cost(
     op: &GpuOperator,
@@ -529,7 +540,7 @@ fn sort_cost(
 ) -> Result<u64> {
     let n = input.len() as u64;
     let bytes = input.byte_size() as u64;
-    let threads = op.threads_per_cta;
+    let threads = cta_threads(op, device);
     let grid = (n.div_ceil(u64::from(threads)) as u32).clamp(1, MAX_GRID_CTAS);
     let passes = SORT_PASSES_PER_ATTR * key_attrs;
     let res = KernelResources {
@@ -571,7 +582,7 @@ fn execute_aggregate(
     };
     // Phase 2: segmented reduction.
     let n = input.len() as u64;
-    let threads = op.threads_per_cta;
+    let threads = cta_threads(op, device);
     let grid = (n.div_ceil(u64::from(threads)) as u32).clamp(1, MAX_GRID_CTAS);
     let alu_per_tuple: u64 = aggs.iter().map(|a| a.alu_ops()).sum::<u64>().max(1);
     let q = KernelQuantities {

@@ -1,8 +1,44 @@
+//! Regression check for the Chrome trace writer's edge cases.
+//!
+//! An empty span log must still serialize to *well-formed* JSON (the
+//! metadata lines used to leave a trailing comma, which Perfetto rejects).
+//! The validator still reports an empty trace as "no events" — that is the
+//! correct semantic verdict, not a failure. A one-span trace must validate
+//! outright. Exits non-zero on any INVALID outcome so CI can gate on it.
+
+use kw_gpu_sim::{chrome_trace_json, validate_chrome_json, Device, DeviceConfig, Direction};
+
 fn main() {
-    let json = kw_gpu_sim::chrome_trace_json(&[], 1.15);
-    println!("--- json ---\n{json}--- end ---");
-    match kw_gpu_sim::validate_chrome_json(&json) {
-        Ok(n) => println!("valid, {n} events"),
-        Err(e) => println!("INVALID: {e}"),
+    let mut failures = 0;
+
+    // Case 1: empty span list — must be parseable JSON; "no events" is the
+    // expected (and only acceptable) validator complaint.
+    let empty = chrome_trace_json(&[], 1.15);
+    match validate_chrome_json(&empty) {
+        Ok(n) => println!("empty trace: unexpectedly valid with {n} events"),
+        Err(e) if e == "trace contains no events" => {
+            println!("empty trace: well-formed, {e} (expected)");
+        }
+        Err(e) => {
+            eprintln!("INVALID: empty trace is not well-formed JSON: {e}");
+            failures += 1;
+        }
+    }
+
+    // Case 2: a single real span must validate end to end.
+    let mut dev = Device::new(DeviceConfig::fermi_c2050());
+    dev.transfer(Direction::HostToDevice, 1 << 20)
+        .expect("transfer on a fresh device");
+    let one = chrome_trace_json(dev.spans(), dev.config().clock_ghz);
+    match validate_chrome_json(&one) {
+        Ok(n) => println!("one-span trace: valid, {n} event(s)"),
+        Err(e) => {
+            eprintln!("INVALID: one-span trace failed validation: {e}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
     }
 }

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use kw_gpu_sim::{
-    kernel_cost, occupancy, DeviceConfig, KernelQuantities, KernelResources, LaunchDims,
-    MemoryTracker,
+    kernel_cost, occupancy, DeviceConfig, Engine, KernelQuantities, KernelResources, LaunchDims,
+    MemoryTracker, StreamModel,
 };
 use kw_relational::{gen, ops, CmpOp, Predicate, Relation, Schema, Value};
 
@@ -137,5 +137,57 @@ proptest! {
         let rows = r.to_rows();
         let r2 = Relation::from_rows(r.schema().clone(), &rows).unwrap();
         prop_assert_eq!(r, r2);
+    }
+
+    /// On a pure three-stage pipeline (upload → compute → download per
+    /// chunk, one stream per chunk, one compute engine) the stream/event
+    /// scheduler's makespan equals the closed-form recurrence the chunked
+    /// executor used to report. Durations are small integers, so the
+    /// f64 oracle arithmetic is exact and the comparison needs no epsilon.
+    #[test]
+    fn stream_makespan_matches_pipeline_oracle(
+        durations in proptest::collection::vec((1u64..1_000, 1u64..1_000, 1u64..1_000), 1..24),
+    ) {
+        let mut model = StreamModel::new(1);
+        for &(h2d, gpu, d2h) in &durations {
+            let s = model.create_stream();
+            model.schedule(s, Engine::CopyH2D, "h2d", h2d, 0).unwrap();
+            model.schedule(s, model.compute_engine(s), "gpu", gpu, 0).unwrap();
+            model.schedule(s, Engine::CopyD2H, "d2h", d2h, 0).unwrap();
+        }
+        let oracle: Vec<(f64, f64, f64)> = durations
+            .iter()
+            .map(|&(h, g, d)| (h as f64, g as f64, d as f64))
+            .collect();
+        prop_assert_eq!(
+            model.makespan() as f64,
+            kw_core::pipeline_makespan(&oracle),
+            "stream schedule must reproduce the three-stage recurrence"
+        );
+    }
+
+    /// The stream scheduler's makespan is bounded on both sides: it never
+    /// exceeds the fully serialized sum of all scheduled work, and it never
+    /// beats the busiest single engine (engines process one op at a time).
+    #[test]
+    fn stream_makespan_is_bounded(
+        compute_engines in 1u32..4,
+        ops in proptest::collection::vec((0u8..5, 1u64..10_000), 1..48),
+    ) {
+        let mut model = StreamModel::new(compute_engines);
+        let streams: Vec<_> = (0..4).map(|_| model.create_stream()).collect();
+        for &(pick, duration) in &ops {
+            let s = streams[(pick as usize) % streams.len()];
+            let engine = match pick {
+                0 => Engine::CopyH2D,
+                1 => Engine::CopyD2H,
+                _ => model.compute_engine(s),
+            };
+            model.schedule(s, engine, "op", duration, 0).unwrap();
+        }
+        let serialized: u64 = ops.iter().map(|&(_, d)| d).sum();
+        let busiest = model.engine_busy().values().copied().max().unwrap_or(0);
+        prop_assert!(model.makespan() <= serialized);
+        prop_assert!(model.makespan() >= busiest);
     }
 }
