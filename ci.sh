@@ -36,4 +36,13 @@ echo "== trace writer edge cases (examples/empty_trace_check.rs)"
 # comma) and a one-span trace must validate; exits non-zero on INVALID.
 cargo run -q -p kw-examples --example empty_trace_check
 
+echo "== scheduler benchmark JSON (paper_tables -- scheduler)"
+# Runs the multi-query batch experiment into a scratch dir, then re-parses
+# bench_results/BENCH_scheduler.json and checks its required keys; the
+# section itself asserts batched-fused < batched-unfused < serial-fused.
+bench_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$bench_dir"' EXIT
+cargo run -q --release -p kw-bench --bin paper_tables -- scheduler --csv "$bench_dir" > /dev/null
+cargo run -q -p kw-examples --example bench_json_check -- "$bench_dir/BENCH_scheduler.json"
+
 echo "CI OK"

@@ -13,7 +13,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use kw_bench::experiments::{
     ablations, capacity, density, fig04, fig16, fig17, fig18, fig19, fig20, fig21, overlap,
-    platforms, queries, robustness, table2, table3, trace,
+    platforms, queries, robustness, scheduler, table2, table3, trace,
 };
 
 fn main() {
@@ -454,6 +454,55 @@ fn main() {
                         r.fused_pipelined,
                         r.base_serialized,
                         r.base_pipelined
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!();
+    });
+
+    run(&["scheduler"], &|| {
+        section("Multi-query batches: stream-scheduled concurrency on one device");
+        println!(
+            "{:>8}  {:>12}  {:>12}  {:>12}  {:>10}  {:>9}",
+            "queries", "batch fused", "batch base", "serial fused", "thru q/s", "vs serial"
+        );
+        let n = 1 << 18;
+        let rows = scheduler::run(n, &[2, 4, 8]);
+        for r in &rows {
+            println!(
+                "{:>8}  {:>9.3} ms  {:>9.3} ms  {:>9.3} ms  {:>10.1}  {:>8.2}x",
+                r.queries,
+                r.batched_fused * 1e3,
+                r.batched_unfused * 1e3,
+                r.serial_fused * 1e3,
+                r.throughput_qps,
+                r.speedup_vs_serial()
+            );
+        }
+        println!("  (batched-fused < batched-unfused < serial-fused on every row)");
+        // Machine-readable results for the CI gate, always emitted; `--csv`
+        // only redirects where they land.
+        let dir = csv_dir.clone().unwrap_or_else(|| "bench_results".into());
+        std::fs::create_dir_all(&dir).expect("create bench_results dir");
+        let path = dir.join("BENCH_scheduler.json");
+        let json = scheduler::to_json(n, &rows);
+        kw_gpu_sim::validate_json(&json).expect("scheduler JSON must parse");
+        std::fs::write(&path, json).expect("write BENCH_scheduler.json");
+        println!("  wrote {}", path.display());
+        csv(
+            "scheduler.csv",
+            "queries,batched_fused,batched_unfused,serial_fused,throughput_qps",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},{},{}",
+                        r.queries,
+                        r.batched_fused,
+                        r.batched_unfused,
+                        r.serial_fused,
+                        r.throughput_qps
                     )
                 })
                 .collect::<Vec<_>>(),

@@ -18,6 +18,7 @@ pub mod overlap;
 pub mod platforms;
 pub mod queries;
 pub mod robustness;
+pub mod scheduler;
 pub mod table2;
 pub mod table3;
 pub mod trace;

@@ -63,10 +63,14 @@ mod executor;
 mod plan;
 mod reschedule;
 mod resilient;
+mod scheduler;
 mod selection;
 mod weave;
 
-pub use admission::{admit, AdmissionReport, AdmittedMode, MAX_CHUNKS};
+pub use admission::{
+    admit, admit_batch, AdmissionReport, AdmittedMode, BatchAdmission, BatchAdmissionQuery,
+    MAX_CHUNKS,
+};
 pub use candidates::{
     find_candidates, is_input_node, is_weavable, kernel_boundaries, FusionOptions,
 };
@@ -82,5 +86,6 @@ pub use reschedule::{reschedule, Rescheduled};
 pub use resilient::{
     execute_compiled_resilient, execute_resilient, Degradation, ResilienceReport, RetryPolicy,
 };
+pub use scheduler::{execute_batch, BatchQuery, BatchQueryReport, BatchReport};
 pub use selection::{select_fusions, ResourceBudget};
 pub use weave::{weave, WovenOperator};

@@ -178,6 +178,14 @@ pub fn execute_compiled_resilient(
                 let mut cfg = *config;
                 cfg.mode = ExecMode::Resident;
                 execute_chunked_compiled(plan, compiled, bindings, device, &cfg, chunks).map(|r| {
+                    // Backoff is charged to BOTH wallclocks: the retry wait
+                    // elapses whether or not transfers overlap compute, so
+                    // leaving it out of either side would let
+                    // `serialized_seconds < total_seconds` silently invert
+                    // after a retried run. With both sides charged,
+                    // `serialized >= total` reduces to the chunked report's
+                    // structural `serialized >= pipelined` (pinned by
+                    // `retried_chunked_run_keeps_wallclocks_ordered`).
                     PlanReport {
                         outputs: r.outputs,
                         gpu_seconds: r.gpu_seconds,
@@ -373,6 +381,50 @@ mod tests {
             res.final_mode
         );
         assert_eq!(dev.memory().in_use(), 0);
+    }
+
+    #[test]
+    fn retried_chunked_run_keeps_wallclocks_ordered() {
+        // Regression for the backoff-charging invariant: a transfer fault
+        // striking the chunked rung's mirrored traffic forces a retry whose
+        // backoff must land in BOTH `total_seconds` and
+        // `serialized_seconds`, so the serialized (no-overlap) cost can
+        // never dip below the overlap-aware wallclock.
+        let input = gen::micro_input(50_000, 36);
+        let plan = select_plan(input.schema().clone());
+        let mut dev = Device::new(DeviceConfig::tiny());
+        dev.inject_faults(FaultConfig::scripted(vec![ScriptedFault {
+            kind: FaultKind::Transfer,
+            attempt: 0,
+        }]));
+        let report = execute_resilient(
+            &plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(report.outputs.values().next().unwrap(), &oracle(&input));
+        let res = report.resilience.as_ref().unwrap();
+        assert!(
+            matches!(res.final_mode, AdmittedMode::Chunked { .. }),
+            "{:?}",
+            res.final_mode
+        );
+        assert!(res.retries >= 1, "the scripted fault must force a retry");
+        assert!(res.backoff_seconds > 0.0);
+        // Both wallclocks carry the backoff...
+        let pipelined = report.pipelined_seconds.unwrap();
+        assert!((report.total_seconds - (pipelined + res.backoff_seconds)).abs() < 1e-12);
+        assert!(report.serialized_seconds >= pipelined + res.backoff_seconds);
+        // ...so their ordering survives the retry.
+        assert!(
+            report.serialized_seconds >= report.total_seconds,
+            "serialized {} must not dip below total {}",
+            report.serialized_seconds,
+            report.total_seconds
+        );
     }
 
     #[test]

@@ -1,0 +1,597 @@
+//! Multi-query stream scheduling: concurrent plans on one shared device.
+//!
+//! The paper measures fusion one query at a time; this module is the regime
+//! where those wins compound. [`execute_batch`] takes a batch of independent
+//! queries, admits them for *concurrent* residence ([`crate::admit_batch`]),
+//! and schedules every (possibly fused) step of every query on the shared
+//! device's stream/event model:
+//!
+//! * **Stream assignment** — each step of each query gets its own CUDA-style
+//!   stream. Streams are created slot-major (step 0 of every query, then
+//!   step 1, …) so the round-robin compute-engine assignment of
+//!   [`kw_gpu_sim::StreamModel`] spreads *queries* — not steps of one
+//!   query — across engines first.
+//! * **Event edges** — a step waits on `record_event`/`wait_event` edges
+//!   from the steps that produce its inputs and from the uploads of the
+//!   base relations it consumes; nothing else orders it. Independent
+//!   queries therefore overlap wherever the engines allow: one query's
+//!   uploads hide under another's kernels, downloads under later compute.
+//! * **Fairness** — work is *issued* slot-major round-robin across queries.
+//!   Engines are FIFO in issue order (Fermi exposes a single hardware work
+//!   queue), so round-robin issue is what keeps one long query from
+//!   starving the rest; it also means a stalled step can head-of-line
+//!   block its engine, exactly as the paper's hardware would.
+//!
+//! Per-query computation runs ahead of the replay on a scratch device fork
+//! (the same replay idiom as [`crate::execute_chunked`]): real relations in,
+//! real relations out, per-step compute costs measured. The shared device
+//! then sees each step as one `compute_on` span plus real streamed boundary
+//! transfers, so its span log still reconciles ([`kw_gpu_sim::reconcile`])
+//! and its stream graph — not a side formula — produces the batch makespan,
+//! per-query latencies and throughput of [`BatchReport`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use kw_gpu_sim::{Device, Direction, EventId, SimStats, Span, SpanKind, StreamId};
+use kw_relational::Relation;
+
+use crate::admission::{admit_batch, BatchAdmission, BatchAdmissionQuery};
+use crate::{
+    compile, CompiledPlan, ExecMode, NodeId, PlanNode, QueryPlan, Result, WeaverConfig, WeaverError,
+};
+
+/// One query of a batch: a plan, its input bindings, and a name for
+/// reports and trace provenance.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchQuery<'a> {
+    /// Name used in reports and span provenance (`q{i}:{name}` frames).
+    pub name: &'a str,
+    /// The plan to execute.
+    pub plan: &'a QueryPlan,
+    /// Named input relations, as for [`crate::execute_plan`].
+    pub bindings: &'a [(&'a str, &'a Relation)],
+}
+
+/// Per-query results and metrics of a batched execution.
+#[derive(Debug)]
+pub struct BatchQueryReport {
+    /// The query's name, as given in [`BatchQuery`].
+    pub name: String,
+    /// Relations of the query's marked plan outputs.
+    pub outputs: BTreeMap<NodeId, Relation>,
+    /// Seconds from batch start until this query's last scheduled
+    /// operation finished on the shared device.
+    pub latency_seconds: f64,
+    /// GPU computation seconds charged by this query's kernels.
+    pub gpu_seconds: f64,
+    /// PCIe seconds of this query's boundary transfers.
+    pub pcie_seconds: f64,
+    /// Number of (possibly fused) operators scheduled.
+    pub operator_count: usize,
+    /// The fusion sets the compiler chose.
+    pub fusion_sets: Vec<Vec<NodeId>>,
+    /// Peak device bytes of the query's working set (what the shared
+    /// device must reserve for it while it is in flight).
+    pub peak_device_bytes: u64,
+}
+
+/// What a batched execution did on the shared device.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-query results, in batch order.
+    pub queries: Vec<BatchQueryReport>,
+    /// Shared-device makespan of the whole batch, seconds: from batch
+    /// start to the last operation's end on the stream/event graph.
+    pub makespan_seconds: f64,
+    /// The same scheduled work with no overlap at all — the sum of every
+    /// operation's duration. An upper bound on `makespan_seconds`.
+    pub serialized_seconds: f64,
+    /// Queries completed per second of makespan (0 for an empty batch).
+    pub throughput_qps: f64,
+    /// The batch admission verdict (per-query peaks, concurrent footprint).
+    pub admission: BatchAdmission,
+}
+
+/// Per-step compute cost measured on the scratch run: the merged
+/// kernel-side [`SimStats`] delta and its duration in cycles.
+struct StepCompute {
+    delta: SimStats,
+    cycles: u64,
+}
+
+/// Group the scratch run's kernel spans by the `step{i}:` provenance frame
+/// the executor pushes, yielding one compute-only delta per compiled step.
+fn step_computes(spans: &[Span], steps: usize) -> Vec<StepCompute> {
+    let mut out: Vec<StepCompute> = (0..steps)
+        .map(|_| StepCompute {
+            delta: SimStats::default(),
+            cycles: 0,
+        })
+        .collect();
+    for span in spans {
+        if span.kind != SpanKind::Kernel {
+            continue;
+        }
+        let Some(rest) = span.provenance.strip_prefix("step") else {
+            continue;
+        };
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        let Ok(idx) = digits.parse::<usize>() else {
+            continue;
+        };
+        if let Some(slot) = out.get_mut(idx) {
+            slot.delta.merge(&span.delta);
+        }
+    }
+    for slot in &mut out {
+        slot.cycles = slot.delta.gpu_cycles;
+    }
+    out
+}
+
+/// Execute a batch of independent queries concurrently on one shared
+/// device.
+///
+/// Each query's relational work runs ahead on a scratch device fork (real
+/// data, per-step costs measured), then every step is scheduled on the
+/// shared device — one stream per step, `record_event`/`wait_event` edges
+/// for data dependences, boundary transfers on the H2D/D2H copy engines —
+/// and the stream graph's makespan becomes the batch wallclock. Outputs are
+/// byte-identical to solo execution by construction: stream interleaving
+/// decides *when* work runs, never what it computes.
+///
+/// # Errors
+///
+/// Returns [`WeaverError::Admission`] when the batch's concurrent resident
+/// footprint does not fit the device, and propagates compilation, binding
+/// and device errors (injected faults strike scratch runs and replayed
+/// transfers alike).
+///
+/// # Examples
+///
+/// ```
+/// use kw_core::{execute_batch, BatchQuery, QueryPlan, WeaverConfig};
+/// use kw_gpu_sim::{Device, DeviceConfig};
+/// use kw_primitives::RaOp;
+/// use kw_relational::{gen, CmpOp, Predicate, Value};
+///
+/// let input = gen::micro_input(10_000, 11);
+/// let mut plan = QueryPlan::new();
+/// let t = plan.add_input("t", input.schema().clone());
+/// let s = plan.add_op(
+///     RaOp::Select { pred: Predicate::cmp(0, CmpOp::Lt, Value::U32(1 << 31)) },
+///     &[t],
+/// )?;
+/// plan.mark_output(s);
+///
+/// let bindings = [("t", &input)];
+/// let queries = [
+///     BatchQuery { name: "q0", plan: &plan, bindings: &bindings },
+///     BatchQuery { name: "q1", plan: &plan, bindings: &bindings },
+/// ];
+/// let mut device = Device::new(DeviceConfig::fermi_c2050());
+/// let batch = execute_batch(&queries, &mut device, &WeaverConfig::default())?;
+/// assert_eq!(batch.queries.len(), 2);
+/// assert!(batch.makespan_seconds <= batch.serialized_seconds);
+/// # Ok::<(), kw_core::WeaverError>(())
+/// ```
+pub fn execute_batch(
+    queries: &[BatchQuery<'_>],
+    device: &mut Device,
+    config: &WeaverConfig,
+) -> Result<BatchReport> {
+    let compiled: Vec<CompiledPlan> = queries
+        .iter()
+        .map(|q| compile(q.plan, config))
+        .collect::<Result<_>>()?;
+
+    // Admission: every query stays resident for its whole flight, so the
+    // batch must fit the *sum* of resident peaks — there is no cheaper
+    // rung for a concurrent batch to degrade to.
+    let free = device
+        .memory()
+        .capacity()
+        .saturating_sub(device.memory().in_use());
+    let admission_input: Vec<BatchAdmissionQuery<'_>> = queries
+        .iter()
+        .zip(&compiled)
+        .map(|(q, c)| (q.plan, c, q.bindings))
+        .collect();
+    let admission = admit_batch(&admission_input, free)?;
+
+    // Phase 1: run every query on a scratch fork (derived fault streams
+    // keep injected faults striking inside query execution) to obtain its
+    // outputs and measured per-step compute costs.
+    let mut scratch_reports = Vec::with_capacity(queries.len());
+    for (q, c) in queries.iter().zip(&compiled) {
+        let mut cfg = *config;
+        cfg.mode = ExecMode::Resident;
+        let mut scratch = device.fork_scratch();
+        let report = crate::execute_compiled(q.plan, c, q.bindings, &mut scratch, &cfg)?;
+        let computes = step_computes(&report.spans, c.steps.len());
+        let peak = scratch.memory().peak();
+        scratch_reports.push((report, computes, peak));
+    }
+
+    // Phase 2: schedule the batch on the shared device. Streams are
+    // created slot-major so the engine round-robin spreads queries first.
+    let batch_start = device.sync_streams();
+    let ops_before = device.streams().ops().len();
+    let max_steps = compiled.iter().map(|c| c.steps.len()).max().unwrap_or(0);
+    let mut step_streams: Vec<Vec<StreamId>> = queries.iter().map(|_| Vec::new()).collect();
+    for slot in 0..max_steps {
+        for (qi, c) in compiled.iter().enumerate() {
+            if slot < c.steps.len() {
+                step_streams[qi].push(device.create_stream());
+            }
+        }
+    }
+
+    // Per-query issue state.
+    struct QState {
+        /// `node -> producing step index` for intermediate results.
+        producer: BTreeMap<NodeId, usize>,
+        /// Upload event per base relation; `None` for zero-byte uploads
+        /// (skipped outright, nothing to wait for).
+        uploaded: BTreeMap<NodeId, Option<(StreamId, EventId)>>,
+        /// Completion event per issued step.
+        step_done: Vec<Option<EventId>>,
+        pcie_seconds: f64,
+    }
+    let mut states: Vec<QState> = compiled
+        .iter()
+        .map(|c| {
+            let mut producer = BTreeMap::new();
+            for (i, step) in c.steps.iter().enumerate() {
+                for &o in &step.outputs {
+                    producer.insert(o, i);
+                }
+            }
+            QState {
+                producer,
+                uploaded: BTreeMap::new(),
+                step_done: vec![None; c.steps.len()],
+                pcie_seconds: 0.0,
+            }
+        })
+        .collect();
+
+    for slot in 0..max_steps {
+        for (qi, q) in queries.iter().enumerate() {
+            let Some(step) = compiled[qi].steps.get(slot) else {
+                continue;
+            };
+            let stream = step_streams[qi][slot];
+            let state = &mut states[qi];
+            let (report, computes, _) = &scratch_reports[qi];
+
+            // Every span this step emits carries the query's identity, so
+            // a batch trace shows which query each overlapped op belongs to.
+            device.push_scope(format!("q{qi}:{}", q.name));
+            let issued = (|device: &mut Device| -> Result<()> {
+                // Upload base relations on their first consumer's stream.
+                // Zero-byte relations are skipped outright (no fabricated
+                // per-transfer latency), mirroring chunked execution.
+                for &node in &step.inputs {
+                    if !matches!(q.plan.node(node), PlanNode::Input { .. })
+                        || state.uploaded.contains_key(&node)
+                    {
+                        continue;
+                    }
+                    let name = match q.plan.node(node) {
+                        PlanNode::Input { name, .. } => name,
+                        PlanNode::Operator { .. } => unreachable!("checked above"),
+                    };
+                    let bytes = q
+                        .bindings
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, r)| r.byte_size() as u64)
+                        .ok_or_else(|| {
+                            WeaverError::binding(format!("no relation bound to '{name}'"))
+                        })?;
+                    let ev = if bytes > 0 {
+                        state.pcie_seconds +=
+                            device.transfer_on(stream, Direction::HostToDevice, bytes)?;
+                        Some((stream, device.record_event(stream)?))
+                    } else {
+                        None
+                    };
+                    state.uploaded.insert(node, ev);
+                }
+
+                // Dependence edges: producing steps and cross-stream
+                // uploads must complete before this step's kernels run.
+                // Same-stream uploads are already ordered by stream FIFO.
+                for &node in &step.inputs {
+                    if let Some(&p) = state.producer.get(&node) {
+                        let ev = state.step_done[p].ok_or_else(|| {
+                            WeaverError::plan(format!(
+                                "step input {node} scheduled before its producer"
+                            ))
+                        })?;
+                        device.wait_event(stream, ev)?;
+                    } else if let Some(&Some((src, ev))) = state.uploaded.get(&node) {
+                        if src != stream {
+                            device.wait_event(stream, ev)?;
+                        }
+                    }
+                }
+
+                let compute = &computes[slot];
+                device.compute_on(
+                    stream,
+                    step.op.label.clone(),
+                    &compute.delta,
+                    compute.cycles,
+                )?;
+
+                // Marked plan outputs return to the host as soon as their
+                // producing step finishes; the download then overlaps
+                // whatever the engines run next.
+                for &node in &step.outputs {
+                    if !q.plan.outputs().contains(&node) {
+                        continue;
+                    }
+                    let bytes = report.outputs[&node].byte_size() as u64;
+                    if bytes > 0 {
+                        state.pcie_seconds +=
+                            device.transfer_on(stream, Direction::DeviceToHost, bytes)?;
+                    }
+                }
+                state.step_done[slot] = Some(device.record_event(stream)?);
+                Ok(())
+            })(device);
+            device.pop_scope();
+            if let Err(e) = issued {
+                // Drain in-flight work so a retry starts from a settled
+                // clock, exactly like the chunked replay's error path.
+                device.sync_streams();
+                return Err(e);
+            }
+        }
+    }
+
+    // Read the batch off the stream graph: makespan from the unified
+    // cycle clock, per-query latency from each query's last operation,
+    // serialized cost as the overlap-free sum of every op's duration.
+    let end_cycles = device.sync_streams();
+    let makespan_cycles = end_cycles - batch_start;
+    let makespan_seconds = device.config().cycles_to_seconds(makespan_cycles);
+    let batch_ops = &device.streams().ops()[ops_before..];
+    let serialized_cycles: u64 = batch_ops.iter().map(|op| op.duration()).sum();
+    let serialized_seconds = device.config().cycles_to_seconds(serialized_cycles);
+
+    let mut reports = Vec::with_capacity(queries.len());
+    for (qi, q) in queries.iter().enumerate() {
+        let streams: BTreeSet<StreamId> = step_streams[qi].iter().copied().collect();
+        let last_end = batch_ops
+            .iter()
+            .filter(|op| streams.contains(&op.stream))
+            .map(|op| op.end_cycle)
+            .max()
+            .unwrap_or(batch_start);
+        let (report, computes, peak) = &scratch_reports[qi];
+        let gpu_cycles: u64 = computes.iter().map(|c| c.cycles).sum();
+        reports.push(BatchQueryReport {
+            name: q.name.to_string(),
+            outputs: report.outputs.clone(),
+            latency_seconds: device.config().cycles_to_seconds(last_end - batch_start),
+            gpu_seconds: device.config().cycles_to_seconds(gpu_cycles),
+            pcie_seconds: states[qi].pcie_seconds,
+            operator_count: compiled[qi].steps.len(),
+            fusion_sets: compiled[qi].fusion_sets.clone(),
+            peak_device_bytes: *peak,
+        });
+    }
+
+    let throughput_qps = if makespan_seconds > 0.0 {
+        queries.len() as f64 / makespan_seconds
+    } else {
+        0.0
+    };
+
+    Ok(BatchReport {
+        queries: reports,
+        makespan_seconds,
+        serialized_seconds,
+        throughput_qps,
+        admission,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute_plan;
+    use kw_gpu_sim::DeviceConfig;
+    use kw_primitives::RaOp;
+    use kw_relational::{gen, CmpOp, Predicate, Value};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::fermi_c2050())
+    }
+
+    fn sel(attr: usize, v: u32) -> RaOp {
+        RaOp::Select {
+            pred: Predicate::cmp(attr, CmpOp::Lt, Value::U32(v)),
+        }
+    }
+
+    fn chain(schema: kw_relational::Schema, depth: usize) -> QueryPlan {
+        let mut p = QueryPlan::new();
+        let mut cur = p.add_input("t", schema);
+        for a in 0..depth {
+            cur = p.add_op(sel(a % 4, u32::MAX / 2), &[cur]).unwrap();
+        }
+        p.mark_output(cur);
+        p
+    }
+
+    #[test]
+    fn batch_outputs_match_solo_execution() {
+        let a = gen::micro_input(20_000, 41);
+        let b = gen::micro_input(30_000, 42);
+        let pa = chain(a.schema().clone(), 2);
+        let pb = chain(b.schema().clone(), 3);
+        let ba = [("t", &a)];
+        let bb = [("t", &b)];
+        let queries = [
+            BatchQuery {
+                name: "qa",
+                plan: &pa,
+                bindings: &ba,
+            },
+            BatchQuery {
+                name: "qb",
+                plan: &pb,
+                bindings: &bb,
+            },
+        ];
+        let mut dev = device();
+        let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
+
+        for (q, r) in queries.iter().zip(&batch.queries) {
+            let mut solo_dev = device();
+            let solo =
+                execute_plan(q.plan, q.bindings, &mut solo_dev, &WeaverConfig::default()).unwrap();
+            assert_eq!(r.outputs, solo.outputs, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn batch_beats_serial_and_respects_engine_bounds() {
+        let a = gen::micro_input(100_000, 43);
+        let b = gen::micro_input(100_000, 44);
+        let pa = chain(a.schema().clone(), 2);
+        let pb = chain(b.schema().clone(), 2);
+        let ba = [("t", &a)];
+        let bb = [("t", &b)];
+        let queries = [
+            BatchQuery {
+                name: "qa",
+                plan: &pa,
+                bindings: &ba,
+            },
+            BatchQuery {
+                name: "qb",
+                plan: &pb,
+                bindings: &bb,
+            },
+        ];
+        let mut dev = device();
+        let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
+
+        // Solo makespans on fresh devices.
+        let mut solo_sum = 0.0;
+        for q in &queries {
+            let mut d = device();
+            let solo = execute_batch(&[*q], &mut d, &WeaverConfig::default()).unwrap();
+            solo_sum += solo.makespan_seconds;
+        }
+        assert!(
+            batch.makespan_seconds < solo_sum,
+            "sharing the device must beat serial: {} vs {}",
+            batch.makespan_seconds,
+            solo_sum
+        );
+        // Lower bound: the busiest engine's busy time.
+        let busiest = *dev.streams().engine_busy().values().max().unwrap();
+        let floor = dev.config().cycles_to_seconds(busiest);
+        assert!(batch.makespan_seconds >= floor - 1e-15);
+        assert!(batch.makespan_seconds <= batch.serialized_seconds + 1e-15);
+        assert!(batch.throughput_qps > 0.0);
+        // Latencies end inside the batch window.
+        for r in &batch.queries {
+            assert!(r.latency_seconds > 0.0);
+            assert!(r.latency_seconds <= batch.makespan_seconds + 1e-15);
+        }
+    }
+
+    #[test]
+    fn batch_trace_reconciles_and_carries_query_provenance() {
+        let a = gen::micro_input(30_000, 45);
+        let pa = chain(a.schema().clone(), 2);
+        let ba = [("t", &a)];
+        let queries = [
+            BatchQuery {
+                name: "alpha",
+                plan: &pa,
+                bindings: &ba,
+            },
+            BatchQuery {
+                name: "beta",
+                plan: &pa,
+                bindings: &ba,
+            },
+        ];
+        let mut dev = device();
+        execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
+        kw_gpu_sim::reconcile(dev.spans(), dev.stats()).unwrap();
+        let provs: Vec<&str> = dev.spans().iter().map(|s| s.provenance.as_str()).collect();
+        assert!(provs.iter().any(|p| p.starts_with("q0:alpha")), "{provs:?}");
+        assert!(provs.iter().any(|p| p.starts_with("q1:beta")), "{provs:?}");
+    }
+
+    #[test]
+    fn oversubscribed_batch_is_rejected_at_admission() {
+        let input = gen::micro_input(200_000, 46);
+        let plan = chain(input.schema().clone(), 2);
+        let bindings = [("t", &input)];
+        let queries: Vec<BatchQuery<'_>> = (0..64)
+            .map(|_| BatchQuery {
+                name: "q",
+                plan: &plan,
+                bindings: &bindings,
+            })
+            .collect();
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let err = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap_err();
+        assert!(matches!(err, WeaverError::Admission { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_no_op() {
+        let mut dev = device();
+        let batch = execute_batch(&[], &mut dev, &WeaverConfig::default()).unwrap();
+        assert!(batch.queries.is_empty());
+        assert_eq!(batch.makespan_seconds, 0.0);
+        assert_eq!(batch.throughput_qps, 0.0);
+    }
+
+    #[test]
+    fn fused_batch_beats_unfused_batch() {
+        let a = gen::micro_input(80_000, 47);
+        let b = gen::micro_input(80_000, 48);
+        let pa = chain(a.schema().clone(), 3);
+        let pb = chain(b.schema().clone(), 3);
+        let ba = [("t", &a)];
+        let bb = [("t", &b)];
+        let queries = [
+            BatchQuery {
+                name: "qa",
+                plan: &pa,
+                bindings: &ba,
+            },
+            BatchQuery {
+                name: "qb",
+                plan: &pb,
+                bindings: &bb,
+            },
+        ];
+        let mut d1 = device();
+        let fused = execute_batch(&queries, &mut d1, &WeaverConfig::default()).unwrap();
+        let mut d2 = device();
+        let base = execute_batch(&queries, &mut d2, &WeaverConfig::default().baseline()).unwrap();
+        assert!(
+            fused.makespan_seconds < base.makespan_seconds,
+            "{} vs {}",
+            fused.makespan_seconds,
+            base.makespan_seconds
+        );
+        assert!(fused.throughput_qps > base.throughput_qps);
+        for (f, b) in fused.queries.iter().zip(&base.queries) {
+            assert_eq!(f.outputs, b.outputs);
+        }
+    }
+}

@@ -547,6 +547,24 @@ impl Device {
         self.streams.wait_event(stream, event)
     }
 
+    /// Block until `event` has completed: the serial trace clock advances to
+    /// the event's recorded cycle (it never moves backwards). Returns the
+    /// new clock.
+    ///
+    /// This is the host-side half of a producer/consumer edge: serially
+    /// executed work (e.g. a kernel that consumes a streamed upload) calls
+    /// this before being charged, so it cannot pretend to predate the data
+    /// it reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidStream`] for a stale event handle.
+    pub fn sync_event(&mut self, event: EventId) -> Result<u64> {
+        let at = self.streams.event_cycle(event)?;
+        self.clock_cycles = self.clock_cycles.max(at);
+        Ok(self.clock_cycles)
+    }
+
     /// Block until all streamed work has finished: the serial trace clock
     /// advances to the stream makespan (it never moves backwards). Returns
     /// the new clock. Call this before reading wallclock after streamed

@@ -54,5 +54,5 @@ pub use stream::{Engine, EventId, StreamId, StreamModel, StreamOp};
 pub use timeline::{cycles_for_label, label_matches, Event};
 pub use trace::{
     chrome_trace_json, operator_summary, reconcile, sum_deltas, summary_table,
-    validate_chrome_json, OperatorSummary, Span, SpanKind, TraceSink,
+    validate_chrome_json, validate_json, OperatorSummary, Span, SpanKind, TraceSink,
 };

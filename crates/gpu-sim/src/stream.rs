@@ -242,14 +242,29 @@ impl StreamModel {
     /// Returns [`SimError::InvalidStream`] for an unknown stream or event.
     pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> Result<()> {
         let idx = self.check_stream(stream)?;
-        let at = *self
-            .events
-            .get(event.0 as usize)
-            .ok_or_else(|| SimError::InvalidStream {
-                detail: format!("unknown event id {} ({} exist)", event.0, self.events.len()),
-            })?;
+        let at = self.event_cycle(event)?;
         self.stream_ready[idx] = self.stream_ready[idx].max(at);
         Ok(())
+    }
+
+    /// The completion cycle `event` captured at record time — the cycle at
+    /// which everything issued to its stream before the record has finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidStream`] for an unknown event id.
+    pub fn event_cycle(&self, event: EventId) -> Result<u64> {
+        self.events
+            .get(event.0 as usize)
+            .copied()
+            .ok_or_else(|| SimError::InvalidStream {
+                detail: format!("unknown event id {} ({} exist)", event.0, self.events.len()),
+            })
+    }
+
+    /// Number of streams created so far.
+    pub fn stream_count(&self) -> usize {
+        self.stream_ready.len()
     }
 
     /// The cycle at which every scheduled operation has finished (0 when

@@ -604,6 +604,27 @@ impl<'a> JsonParser<'a> {
     }
 }
 
+/// Validate that `text` is one well-formed JSON document (any value shape,
+/// no schema requirements beyond syntax). The bench harness uses this to
+/// gate its machine-readable result files in the offline CI environment.
+///
+/// # Errors
+///
+/// Returns a message locating the first syntax violation.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        events: 0,
+    };
+    p.parse_value(false)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after JSON document"));
+    }
+    Ok(())
+}
+
 /// Validate that `text` is well-formed Chrome trace-event JSON: a top-level
 /// object whose `traceEvents` array members each carry a `ph`, a `name`, and
 /// (for durable/instant phases) a numeric `ts`.

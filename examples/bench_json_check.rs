@@ -1,0 +1,54 @@
+//! CI gate for the scheduler benchmark's machine-readable output.
+//!
+//! `paper_tables -- scheduler` writes `bench_results/BENCH_scheduler.json`;
+//! this check re-parses it (hand-rolled JSON, so a writer bug shows up as
+//! a syntax error here) and verifies the keys downstream tooling consumes
+//! are present. Exits non-zero on any failure so CI can gate on it.
+//!
+//! ```bash
+//! cargo run -p kw-examples --example bench_json_check [path/to/file.json]
+//! ```
+
+use kw_gpu_sim::validate_json;
+
+const REQUIRED_KEYS: [&str; 6] = [
+    "\"experiment\"",
+    "\"rows\"",
+    "\"batched_fused_seconds\"",
+    "\"serial_fused_seconds\"",
+    "\"throughput_qps\"",
+    "\"speedup_vs_serial\"",
+];
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bench_results/BENCH_scheduler.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("INVALID: cannot read {path}: {e}");
+            eprintln!("(run `cargo run -p kw-bench --bin paper_tables -- scheduler` first)");
+            std::process::exit(1);
+        }
+    };
+
+    let mut failures = 0;
+    match validate_json(&text) {
+        Ok(()) => println!("{path}: well-formed JSON ({} bytes)", text.len()),
+        Err(e) => {
+            eprintln!("INVALID: {path} does not parse: {e}");
+            failures += 1;
+        }
+    }
+    for key in REQUIRED_KEYS {
+        if !text.contains(key) {
+            eprintln!("INVALID: {path} is missing required key {key}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("{path}: all {} required keys present", REQUIRED_KEYS.len());
+}
