@@ -42,7 +42,20 @@ echo "== scheduler benchmark JSON (paper_tables -- scheduler)"
 # section itself asserts batched-fused < batched-unfused < serial-fused.
 bench_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$bench_dir"' EXIT
-cargo run -q --release -p kw-bench --bin paper_tables -- scheduler --csv "$bench_dir" > /dev/null
+cargo run -q --release -p kw-bench --bin paper_tables -- scheduler profile --csv "$bench_dir" > /dev/null
 cargo run -q -p kw-examples --example bench_json_check -- "$bench_dir/BENCH_scheduler.json"
+
+echo "== observability schema validation (examples/profile.rs)"
+# Prints the bottleneck profile and Prometheus export for a staged run and
+# validates the metrics-registry JSON and profile JSON schemas plus the
+# batch latency percentiles; exits non-zero on any INVALID line.
+cargo run -q --release -p kw-examples --example profile > /dev/null
+
+echo "== bench regression gate (bench_regression vs bench_results/baselines)"
+# Diffs the freshly generated BENCH_*.json against the committed baselines
+# with per-metric direction-aware tolerances (times may not rise, speedups
+# and utilizations may not fall, classifications must match exactly).
+cargo run -q --release -p kw-bench --bin bench_regression -- \
+    --baseline-dir bench_results/baselines --fresh-dir "$bench_dir"
 
 echo "CI OK"

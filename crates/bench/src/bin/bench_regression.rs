@@ -1,0 +1,301 @@
+//! Diff freshly generated `BENCH_*.json` documents against the committed
+//! baselines and fail CI on regression.
+//!
+//! ```bash
+//! cargo run --release -p kw-bench --bin bench_regression -- \
+//!     --baseline-dir bench_results/baselines --fresh-dir bench_results
+//! ```
+//!
+//! Every `*.json` under the baseline directory must have a fresh
+//! counterpart. Documents are compared leaf-by-leaf with a direction
+//! inferred from the metric name:
+//!
+//! * keys ending in `_seconds` are lower-is-better — a fresh value more
+//!   than `tolerance` above the baseline is a regression;
+//! * `throughput_qps`, `speedup_vs_serial`, `fusion_gain` and keys under
+//!   `engine_utilization` are higher-is-better;
+//! * structural integers (`queries`, `tuples_per_query`) and every string
+//!   (bottleneck classifications!) must match exactly;
+//! * all other numbers are two-sided: any relative drift beyond
+//!   `tolerance` fails, in either direction.
+//!
+//! Extra keys in the fresh document are allowed (new metrics don't break
+//! old baselines); keys missing from the fresh document are failures.
+
+use std::path::Path;
+
+use kw_gpu_sim::{parse_json, JsonValue};
+
+/// Default relative tolerance for numeric drift.
+const DEFAULT_TOLERANCE: f64 = 0.05;
+/// Absolute slack so zero-valued baselines don't demand exact zeros.
+const EPS: f64 = 1e-12;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| default.to_string())
+    };
+    let baseline_dir = get("--baseline-dir", "bench_results/baselines");
+    let fresh_dir = get("--fresh-dir", "bench_results");
+    let tolerance: f64 = get("--tolerance", "").parse().unwrap_or(DEFAULT_TOLERANCE);
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    let entries = match std::fs::read_dir(&baseline_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bench_regression: cannot read baseline dir {baseline_dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        eprintln!("bench_regression: no *.json baselines under {baseline_dir}");
+        std::process::exit(1);
+    }
+
+    for name in &names {
+        let base_path = Path::new(&baseline_dir).join(name);
+        let fresh_path = Path::new(&fresh_dir).join(name);
+        let base_text = match std::fs::read_to_string(&base_path) {
+            Ok(t) => t,
+            Err(e) => {
+                failures.push(format!("{name}: cannot read baseline: {e}"));
+                continue;
+            }
+        };
+        let fresh_text = match std::fs::read_to_string(&fresh_path) {
+            Ok(t) => t,
+            Err(e) => {
+                failures.push(format!(
+                    "{name}: missing fresh result {}: {e}",
+                    fresh_path.display()
+                ));
+                continue;
+            }
+        };
+        let base = match parse_json(&base_text) {
+            Ok(v) => v,
+            Err(e) => {
+                failures.push(format!("{name}: baseline does not parse: {e}"));
+                continue;
+            }
+        };
+        let fresh = match parse_json(&fresh_text) {
+            Ok(v) => v,
+            Err(e) => {
+                failures.push(format!("{name}: fresh result does not parse: {e}"));
+                continue;
+            }
+        };
+        let before = failures.len();
+        let leaves = compare(name, &base, &fresh, tolerance, &mut failures);
+        compared += leaves;
+        println!(
+            "  {name}: {leaves} leaves compared, {} failures",
+            failures.len() - before
+        );
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench_regression: OK — {} files, {compared} leaves within {tolerance:.0}% \
+             (or exact where required)",
+            names.len(),
+            tolerance = tolerance * 100.0
+        );
+    } else {
+        eprintln!("bench_regression: {} regression(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// How a numeric metric is allowed to drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Direction {
+    /// Fails only when fresh is worse = larger (times).
+    LowerIsBetter,
+    /// Fails only when fresh is worse = smaller (throughputs, speedups).
+    HigherIsBetter,
+    /// Structural value: must match exactly.
+    Exact,
+    /// Any drift beyond tolerance fails.
+    TwoSided,
+}
+
+/// Classify a leaf by its path (`rows[0].latency_p95_seconds`, ...).
+fn direction(path: &str) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    let leaf = leaf.split('[').next().unwrap_or(leaf);
+    if leaf.ends_with("_seconds") {
+        return Direction::LowerIsBetter;
+    }
+    if leaf == "throughput_qps"
+        || leaf == "speedup_vs_serial"
+        || leaf == "fusion_gain"
+        || path.contains("engine_utilization")
+    {
+        return Direction::HigherIsBetter;
+    }
+    if leaf == "queries" || leaf == "tuples_per_query" {
+        return Direction::Exact;
+    }
+    Direction::TwoSided
+}
+
+/// Compare `fresh` against `base` recursively; returns the number of leaf
+/// values checked and appends any regressions to `failures`.
+fn compare(
+    path: &str,
+    base: &JsonValue,
+    fresh: &JsonValue,
+    tol: f64,
+    failures: &mut Vec<String>,
+) -> usize {
+    match (base, fresh) {
+        (JsonValue::Object(base_entries), JsonValue::Object(_)) => {
+            let mut n = 0;
+            for (key, bv) in base_entries {
+                match fresh.get(key) {
+                    Some(fv) => n += compare(&format!("{path}.{key}"), bv, fv, tol, failures),
+                    None => failures.push(format!("{path}.{key}: missing from fresh result")),
+                }
+            }
+            n
+        }
+        (JsonValue::Array(bs), JsonValue::Array(fs)) => {
+            if bs.len() != fs.len() {
+                failures.push(format!(
+                    "{path}: array length changed {} -> {}",
+                    bs.len(),
+                    fs.len()
+                ));
+                return 0;
+            }
+            bs.iter()
+                .zip(fs)
+                .enumerate()
+                .map(|(i, (b, f))| compare(&format!("{path}[{i}]"), b, f, tol, failures))
+                .sum()
+        }
+        (JsonValue::Number(b), JsonValue::Number(f)) => {
+            let slack = tol * b.abs() + EPS;
+            let bad = match direction(path) {
+                Direction::LowerIsBetter => *f > b + slack,
+                Direction::HigherIsBetter => *f < b - slack,
+                Direction::Exact => f != b,
+                Direction::TwoSided => (f - b).abs() > slack,
+            };
+            if bad {
+                failures.push(format!(
+                    "{path}: {b} -> {f} ({:?}, tolerance {tol})",
+                    direction(path)
+                ));
+            }
+            1
+        }
+        (JsonValue::Str(b), JsonValue::Str(f)) => {
+            if b != f {
+                failures.push(format!("{path}: \"{b}\" -> \"{f}\" (strings must match)"));
+            }
+            1
+        }
+        (JsonValue::Bool(b), JsonValue::Bool(f)) => {
+            if b != f {
+                failures.push(format!("{path}: {b} -> {f}"));
+            }
+            1
+        }
+        (JsonValue::Null, JsonValue::Null) => 1,
+        _ => {
+            failures.push(format!("{path}: type changed"));
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diff(base: &str, fresh: &str) -> Vec<String> {
+        let mut failures = Vec::new();
+        compare(
+            "doc",
+            &parse_json(base).unwrap(),
+            &parse_json(fresh).unwrap(),
+            0.05,
+            &mut failures,
+        );
+        failures
+    }
+
+    #[test]
+    fn seconds_regress_only_upward() {
+        assert!(diff("{\"a_seconds\": 1.0}", "{\"a_seconds\": 1.04}").is_empty());
+        assert!(diff("{\"a_seconds\": 1.0}", "{\"a_seconds\": 0.5}").is_empty());
+        assert_eq!(
+            diff("{\"a_seconds\": 1.0}", "{\"a_seconds\": 1.2}").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn throughput_regresses_only_downward() {
+        assert!(diff("{\"throughput_qps\": 100}", "{\"throughput_qps\": 300}").is_empty());
+        assert_eq!(
+            diff("{\"throughput_qps\": 100}", "{\"throughput_qps\": 90}").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn engine_utilization_is_higher_is_better() {
+        let base = "{\"rows\": [{\"engine_utilization\": {\"compute0\": 0.8}}]}";
+        let worse = "{\"rows\": [{\"engine_utilization\": {\"compute0\": 0.5}}]}";
+        assert!(diff(base, base).is_empty());
+        assert_eq!(diff(base, worse).len(), 1);
+    }
+
+    #[test]
+    fn strings_and_structure_must_match_exactly() {
+        assert_eq!(
+            diff(
+                "{\"bottleneck\": \"transfer\"}",
+                "{\"bottleneck\": \"launch\"}"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(diff("{\"queries\": 4}", "{\"queries\": 5}").len(), 1);
+        assert_eq!(diff("{\"rows\": [1, 2]}", "{\"rows\": [1]}").len(), 1);
+        // A missing key fails; an extra fresh key is fine.
+        assert_eq!(diff("{\"a\": 1}", "{\"b\": 1}").len(), 1);
+        assert!(diff("{\"a\": 1}", "{\"a\": 1, \"b\": 2}").is_empty());
+    }
+
+    #[test]
+    fn two_sided_drift_fails_both_ways() {
+        assert!(diff("{\"launch_share\": 0.5}", "{\"launch_share\": 0.51}").is_empty());
+        assert_eq!(
+            diff("{\"launch_share\": 0.5}", "{\"launch_share\": 0.6}").len(),
+            1
+        );
+        assert_eq!(
+            diff("{\"launch_share\": 0.5}", "{\"launch_share\": 0.4}").len(),
+            1
+        );
+    }
+}

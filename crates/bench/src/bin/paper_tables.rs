@@ -13,7 +13,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use kw_bench::experiments::{
     ablations, capacity, density, fig04, fig16, fig17, fig18, fig19, fig20, fig21, overlap,
-    platforms, queries, robustness, scheduler, table2, table3, trace,
+    platforms, profile, queries, robustness, scheduler, table2, table3, trace,
 };
 
 fn main() {
@@ -481,6 +481,26 @@ fn main() {
             );
         }
         println!("  (batched-fused < batched-unfused < serial-fused on every row)");
+        println!("  Per-query latency (fused batch) and engine utilization:");
+        println!(
+            "{:>8}  {:>10}  {:>10}  {:>10}  engines",
+            "queries", "p50", "p95", "p99"
+        );
+        for r in &rows {
+            let engines = r
+                .engine_utilization
+                .iter()
+                .map(|(name, u)| format!("{name} {:.0}%", u * 100.0))
+                .collect::<Vec<_>>()
+                .join("  ");
+            println!(
+                "{:>8}  {:>7.3} ms  {:>7.3} ms  {:>7.3} ms  {engines}",
+                r.queries,
+                r.latency_p50 * 1e3,
+                r.latency_p95 * 1e3,
+                r.latency_p99 * 1e3,
+            );
+        }
         // Machine-readable results for the CI gate, always emitted; `--csv`
         // only redirects where they land.
         let dir = csv_dir.clone().unwrap_or_else(|| "bench_results".into());
@@ -503,6 +523,69 @@ fn main() {
                         r.batched_unfused,
                         r.serial_fused,
                         r.throughput_qps
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!();
+    });
+
+    run(&["profile"], &|| {
+        section("Bottleneck attribution: roofline profile per pattern, platform, mode");
+        println!(
+            "{:>5}  {:>6}  {:>9}  {:>10}  {:>9}  {:>9}  {:>8}  {:>7}  {:>7}",
+            "pat",
+            "plat",
+            "mode",
+            "bottleneck",
+            "gpu busy",
+            "pcie busy",
+            "launch",
+            "glob bw",
+            "pcie bw"
+        );
+        let n = 1 << 16;
+        let rows = profile::run(n);
+        for r in &rows {
+            println!(
+                "{:>5}  {:>6}  {:>9}  {:>10}  {:>7.0}%   {:>7.0}%   {:>6.0}%   {:>5.0}%   {:>5.0}%",
+                r.pattern,
+                r.platform,
+                r.mode,
+                r.bottleneck,
+                r.gpu_busy_fraction * 100.0,
+                r.pcie_busy_fraction * 100.0,
+                r.launch_share * 100.0,
+                r.global_bw_utilization * 100.0,
+                r.pcie_bw_utilization * 100.0
+            );
+        }
+        println!("  (the 8 GB/s PCIe link pins every Fermi row transfer-bound;");
+        println!("   removing it — the paper's fused APU — exposes the next roofline)");
+        // Machine-readable results for the regression gate, always emitted;
+        // `--csv` only redirects where they land.
+        let dir = csv_dir.clone().unwrap_or_else(|| "bench_results".into());
+        std::fs::create_dir_all(&dir).expect("create bench_results dir");
+        let path = dir.join("BENCH_profile.json");
+        let json = profile::to_json(n, &rows);
+        kw_gpu_sim::validate_json(&json).expect("profile JSON must parse");
+        std::fs::write(&path, json).expect("write BENCH_profile.json");
+        println!("  wrote {}", path.display());
+        csv(
+            "profile.csv",
+            "pattern,platform,mode,bottleneck,gpu_busy_fraction,pcie_busy_fraction,launch_share",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},{},{},{},{}",
+                        r.pattern,
+                        r.platform,
+                        r.mode,
+                        r.bottleneck,
+                        r.gpu_busy_fraction,
+                        r.pcie_busy_fraction,
+                        r.launch_share
                     )
                 })
                 .collect::<Vec<_>>(),

@@ -16,6 +16,7 @@ pub mod fig20;
 pub mod fig21;
 pub mod overlap;
 pub mod platforms;
+pub mod profile;
 pub mod queries;
 pub mod robustness;
 pub mod scheduler;

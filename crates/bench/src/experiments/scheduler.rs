@@ -32,6 +32,16 @@ pub struct Row {
     pub serial_fused: f64,
     /// Queries per second of makespan for the fused batch.
     pub throughput_qps: f64,
+    /// Median per-query latency of the fused batch, seconds (from the
+    /// scheduler's log-bucketed latency histogram).
+    pub latency_p50: f64,
+    /// 95th-percentile per-query latency of the fused batch, seconds.
+    pub latency_p95: f64,
+    /// 99th-percentile per-query latency of the fused batch, seconds.
+    pub latency_p99: f64,
+    /// Per-engine utilization of the fused batch (busy / makespan), keyed
+    /// by engine name, in name order.
+    pub engine_utilization: Vec<(String, f64)>,
 }
 
 impl Row {
@@ -101,6 +111,14 @@ fn run_batch(n: usize, k: usize) -> Row {
         batched_unfused: base.makespan_seconds,
         serial_fused: serial,
         throughput_qps: fused.throughput_qps,
+        latency_p50: fused.latency_p50_seconds,
+        latency_p95: fused.latency_p95_seconds,
+        latency_p99: fused.latency_p99_seconds,
+        engine_utilization: fused
+            .engine_utilization
+            .iter()
+            .map(|(name, &u)| (name.clone(), u))
+            .collect(),
     }
 }
 
@@ -113,11 +131,19 @@ pub fn to_json(n: usize, rows: &[Row]) -> String {
     out.push_str(&format!("  \"tuples_per_query\": {n},\n"));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let engines = r
+            .engine_utilization
+            .iter()
+            .map(|(name, u)| format!("\"{name}\": {u}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
             "    {{\"queries\": {}, \"batched_fused_seconds\": {}, \
              \"batched_unfused_seconds\": {}, \"serial_fused_seconds\": {}, \
              \"throughput_qps\": {}, \"speedup_vs_serial\": {}, \
-             \"fusion_gain\": {}}}{}\n",
+             \"fusion_gain\": {}, \"latency_p50_seconds\": {}, \
+             \"latency_p95_seconds\": {}, \"latency_p99_seconds\": {}, \
+             \"engine_utilization\": {{{engines}}}}}{}\n",
             r.queries,
             r.batched_fused,
             r.batched_unfused,
@@ -125,6 +151,9 @@ pub fn to_json(n: usize, rows: &[Row]) -> String {
             r.throughput_qps,
             r.speedup_vs_serial(),
             r.fusion_gain(),
+            r.latency_p50,
+            r.latency_p95,
+            r.latency_p99,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

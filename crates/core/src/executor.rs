@@ -88,6 +88,10 @@ pub struct PlanReport {
     /// device's life; for a fresh device the two reconcile exactly (see
     /// [`kw_gpu_sim::reconcile`]).
     pub spans: Vec<kw_gpu_sim::Span>,
+    /// Roofline-style bottleneck attribution for this run: achieved vs.
+    /// peak bandwidths, busy fractions, launch share and a per-operator
+    /// breakdown (see [`crate::ProfileReport`]).
+    pub profile: crate::ProfileReport,
 }
 
 impl PlanReport {
@@ -422,6 +426,17 @@ fn run_compiled(
         (device.total_seconds(), device.total_seconds(), None)
     };
 
+    device.metrics_mut().inc("kw_plans_executed_total", 1);
+    device
+        .metrics_mut()
+        .inc("kw_steps_executed_total", compiled.steps.len() as u64);
+    let profile = crate::ProfileReport::from_spans(
+        device.spans(),
+        device.stats(),
+        device.config(),
+        total_seconds,
+    );
+
     Ok(PlanReport {
         outputs,
         gpu_seconds: device.gpu_seconds(),
@@ -435,6 +450,7 @@ fn run_compiled(
         operator_count: compiled.steps.len(),
         resilience: None,
         spans: device.spans().to_vec(),
+        profile,
     })
 }
 

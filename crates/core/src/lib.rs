@@ -61,6 +61,7 @@ mod dot;
 mod error;
 mod executor;
 mod plan;
+mod profile;
 mod reschedule;
 mod resilient;
 mod scheduler;
@@ -82,6 +83,7 @@ pub use dot::plan_to_dot;
 pub use error::{Result, WeaverError};
 pub use executor::{execute_compiled, execute_plan, ExecMode, PlanReport};
 pub use plan::{NodeId, PlanNode, QueryPlan};
+pub use profile::{Bottleneck, OperatorProfile, ProfileReport};
 pub use reschedule::{reschedule, Rescheduled};
 pub use resilient::{
     execute_compiled_resilient, execute_resilient, Degradation, ResilienceReport, RetryPolicy,

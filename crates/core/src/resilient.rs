@@ -187,6 +187,12 @@ pub fn execute_compiled_resilient(
                     // structural `serialized >= pipelined` (pinned by
                     // `retried_chunked_run_keeps_wallclocks_ordered`).
                     PlanReport {
+                        profile: crate::ProfileReport::from_spans(
+                            device.spans(),
+                            device.stats(),
+                            device.config(),
+                            r.pipelined_seconds + backoff_seconds,
+                        ),
                         outputs: r.outputs,
                         gpu_seconds: r.gpu_seconds,
                         pcie_seconds: r.pcie_seconds,
@@ -207,6 +213,11 @@ pub fn execute_compiled_resilient(
 
         match result {
             Ok(mut report) => {
+                let m = device.metrics_mut();
+                m.inc("kw_resilient_runs_total", 1);
+                m.inc("kw_retries_total", u64::from(retries));
+                m.inc("kw_faults_survived_total", u64::from(retries));
+                m.inc("kw_degradations_total", degradations.len() as u64);
                 report.resilience = Some(ResilienceReport {
                     admission,
                     admitted,

@@ -32,7 +32,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use kw_gpu_sim::{Device, Direction, EventId, SimStats, Span, SpanKind, StreamId};
+use kw_gpu_sim::{
+    Device, Direction, EventId, Histogram, SimStats, Span, SpanKind, StreamId, StreamOp,
+};
 use kw_relational::Relation;
 
 use crate::admission::{admit_batch, BatchAdmission, BatchAdmissionQuery};
@@ -88,6 +90,24 @@ pub struct BatchReport {
     pub serialized_seconds: f64,
     /// Queries completed per second of makespan (0 for an empty batch).
     pub throughput_qps: f64,
+    /// Median per-query latency, from the log-bucketed latency histogram
+    /// (the quantile resolves to its bucket's upper bound, so
+    /// deterministic and byte-stable; 0 for an empty batch).
+    pub latency_p50_seconds: f64,
+    /// 95th-percentile per-query latency (same histogram; an upper bound
+    /// on the true p95 within its power-of-two bucket).
+    pub latency_p95_seconds: f64,
+    /// 99th-percentile per-query latency (same histogram).
+    pub latency_p99_seconds: f64,
+    /// Busy seconds per hardware engine over this batch's window, keyed by
+    /// engine name (`compute{i}`, `copy.h2d`, `copy.d2h`).
+    pub engine_busy_seconds: BTreeMap<String, f64>,
+    /// Per-engine busy time as a fraction of the batch makespan — the
+    /// copy-compute overlap picture the stream model exists to produce.
+    pub engine_utilization: BTreeMap<String, f64>,
+    /// Roofline-style bottleneck attribution for the batch, with one
+    /// operator row per query scope (see [`crate::ProfileReport`]).
+    pub profile: crate::ProfileReport,
     /// The batch admission verdict (per-query peaks, concurrent footprint).
     pub admission: BatchAdmission,
 }
@@ -358,11 +378,14 @@ pub fn execute_batch(
     let end_cycles = device.sync_streams();
     let makespan_cycles = end_cycles - batch_start;
     let makespan_seconds = device.config().cycles_to_seconds(makespan_cycles);
-    let batch_ops = &device.streams().ops()[ops_before..];
+    // Copy the batch window's ops out of the device so metrics publication
+    // below can borrow it mutably.
+    let batch_ops: Vec<StreamOp> = device.streams().ops()[ops_before..].to_vec();
     let serialized_cycles: u64 = batch_ops.iter().map(|op| op.duration()).sum();
     let serialized_seconds = device.config().cycles_to_seconds(serialized_cycles);
 
     let mut reports = Vec::with_capacity(queries.len());
+    let mut latency_hist = Histogram::default();
     for (qi, q) in queries.iter().enumerate() {
         let streams: BTreeSet<StreamId> = step_streams[qi].iter().copied().collect();
         let last_end = batch_ops
@@ -373,10 +396,15 @@ pub fn execute_batch(
             .unwrap_or(batch_start);
         let (report, computes, peak) = &scratch_reports[qi];
         let gpu_cycles: u64 = computes.iter().map(|c| c.cycles).sum();
+        let latency_cycles = last_end - batch_start;
+        latency_hist.observe(latency_cycles);
+        device
+            .metrics_mut()
+            .observe("kw_batch_query_latency_cycles", latency_cycles);
         reports.push(BatchQueryReport {
             name: q.name.to_string(),
             outputs: report.outputs.clone(),
-            latency_seconds: device.config().cycles_to_seconds(last_end - batch_start),
+            latency_seconds: device.config().cycles_to_seconds(latency_cycles),
             gpu_seconds: device.config().cycles_to_seconds(gpu_cycles),
             pcie_seconds: states[qi].pcie_seconds,
             operator_count: compiled[qi].steps.len(),
@@ -384,6 +412,10 @@ pub fn execute_batch(
             peak_device_bytes: *peak,
         });
     }
+    device.metrics_mut().inc("kw_batches_total", 1);
+    device
+        .metrics_mut()
+        .inc("kw_batch_queries_total", queries.len() as u64);
 
     let throughput_qps = if makespan_seconds > 0.0 {
         queries.len() as f64 / makespan_seconds
@@ -391,11 +423,52 @@ pub fn execute_batch(
         0.0
     };
 
+    // Per-engine busy time over this batch's window (the device-lifetime
+    // `engine_busy()` would include any pre-batch streamed work).
+    let mut engine_busy_cycles: BTreeMap<String, u64> = BTreeMap::new();
+    for op in batch_ops {
+        *engine_busy_cycles.entry(op.engine.name()).or_insert(0) += op.duration();
+    }
+    let engine_busy_seconds: BTreeMap<String, f64> = engine_busy_cycles
+        .iter()
+        .map(|(name, &c)| (name.clone(), device.config().cycles_to_seconds(c)))
+        .collect();
+    let engine_utilization: BTreeMap<String, f64> = engine_busy_seconds
+        .iter()
+        .map(|(name, &busy)| {
+            let util = if makespan_seconds > 0.0 {
+                busy / makespan_seconds
+            } else {
+                0.0
+            };
+            (name.clone(), util)
+        })
+        .collect();
+
+    let profile = crate::ProfileReport::from_spans(
+        device.spans(),
+        device.stats(),
+        device.config(),
+        device.config().cycles_to_seconds(end_cycles),
+    );
+
     Ok(BatchReport {
         queries: reports,
         makespan_seconds,
         serialized_seconds,
         throughput_qps,
+        latency_p50_seconds: device
+            .config()
+            .cycles_to_seconds(latency_hist.quantile(0.50)),
+        latency_p95_seconds: device
+            .config()
+            .cycles_to_seconds(latency_hist.quantile(0.95)),
+        latency_p99_seconds: device
+            .config()
+            .cycles_to_seconds(latency_hist.quantile(0.99)),
+        engine_busy_seconds,
+        engine_utilization,
+        profile,
         admission,
     })
 }

@@ -6,7 +6,8 @@
 use crate::{
     kernel_cost, pcie_seconds, BufferId, DeviceConfig, Direction, Engine, Event, EventId,
     FaultConfig, FaultInjector, FaultKind, KernelCost, KernelQuantities, KernelResources,
-    LaunchDims, MemoryTracker, Result, SimError, SimStats, Span, SpanKind, StreamId, StreamModel,
+    LaunchDims, MemoryTracker, MetricsRegistry, Result, SimError, SimStats, Span, SpanKind,
+    StreamId, StreamModel,
 };
 
 /// A simulated GPU.
@@ -47,6 +48,9 @@ pub struct Device {
     reconciled: SimStats,
     /// Stream/event scheduler for overlapped (asynchronous) operations.
     streams: StreamModel,
+    /// Deterministic telemetry: every recorded span publishes counters and
+    /// histograms here; driver layers add their own series on top.
+    metrics: MetricsRegistry,
 }
 
 impl Device {
@@ -65,6 +69,7 @@ impl Device {
             clock_cycles: 0,
             reconciled: SimStats::default(),
             streams,
+            metrics: MetricsRegistry::default(),
         }
     }
 
@@ -129,7 +134,7 @@ impl Device {
         // exponential backoff that left f64 range) clamps instead of
         // wrapping the clock backwards.
         self.clock_cycles = self.clock_cycles.saturating_add(duration_cycles);
-        self.record_span_at(kind, label, before, start_cycle, self.clock_cycles);
+        self.record_span_at(kind, label, before, start_cycle, self.clock_cycles, None);
     }
 
     /// Record one span with an explicit `[start, end)` cycle interval
@@ -144,9 +149,11 @@ impl Device {
         before: SimStats,
         start_cycle: u64,
         end_cycle: u64,
+        engine: Option<Engine>,
     ) {
         let delta = self.stats.diff(&before);
         self.reconciled.merge(&delta);
+        self.publish_span_metrics(kind, end_cycle - start_cycle, &delta);
         self.spans.push(Span {
             id: self.spans.len() as u64,
             kind,
@@ -155,11 +162,54 @@ impl Device {
             start_cycle,
             end_cycle,
             delta,
+            engine,
         });
         #[cfg(debug_assertions)]
         if let Err(e) = crate::trace::compare_stats(&self.reconciled, &self.stats) {
             panic!("span accounting drifted from aggregate stats: {e}");
         }
+    }
+
+    /// Publish one recorded span into the metrics registry. Every span —
+    /// serial or streamed — funnels through here, so registry counters are
+    /// a third independent view of the same costs (after the aggregate
+    /// `SimStats` and the span log) that tests can reconcile.
+    fn publish_span_metrics(&mut self, kind: SpanKind, cycles: u64, delta: &SimStats) {
+        let m = &mut self.metrics;
+        m.inc("kw_spans_total", 1);
+        let per_kind = match kind {
+            SpanKind::Kernel => "kw_kernel_spans_total",
+            SpanKind::Transfer => "kw_pcie_spans_total",
+            SpanKind::Alloc => "kw_alloc_spans_total",
+            SpanKind::Free => "kw_free_spans_total",
+            SpanKind::Fault => "kw_fault_spans_total",
+            SpanKind::Backoff => "kw_backoff_spans_total",
+        };
+        m.inc(per_kind, 1);
+        match kind {
+            SpanKind::Kernel => m.observe("kw_kernel_cycles", cycles),
+            SpanKind::Transfer => m.observe("kw_pcie_cycles", cycles),
+            SpanKind::Backoff => m.observe("kw_backoff_cycles", cycles),
+            _ => {}
+        }
+        m.inc("kw_kernel_launches_total", delta.kernel_launches);
+        m.inc("kw_launch_cycles_total", delta.launch_cycles);
+        m.inc("kw_gpu_cycles_total", delta.gpu_cycles);
+        m.inc("kw_global_bytes_total", delta.global_bytes());
+        m.inc("kw_h2d_bytes_total", delta.h2d_bytes);
+        m.inc("kw_d2h_bytes_total", delta.d2h_bytes);
+        m.inc("kw_faults_injected_total", delta.faults_injected);
+    }
+
+    /// The device's metrics registry (read side: exporters, tests).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry, for driver layers (executor,
+    /// resilient driver, batch scheduler) publishing their own series.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
     }
 
     /// The recorded trace spans, in charge order.
@@ -219,9 +269,10 @@ impl Device {
         &self.timeline
     }
 
-    /// Reset statistics, timeline, trace spans, the trace clock and the
-    /// stream scheduler (allocations and the provenance scope stack
-    /// survive; outstanding [`StreamId`]/[`EventId`] handles go stale).
+    /// Reset statistics, timeline, trace spans, the trace clock, the
+    /// stream scheduler and the metrics registry (allocations and the
+    /// provenance scope stack survive; outstanding
+    /// [`StreamId`]/[`EventId`] handles go stale).
     pub fn reset_stats(&mut self) {
         self.stats = SimStats::default();
         self.timeline.clear();
@@ -229,6 +280,7 @@ impl Device {
         self.clock_cycles = 0;
         self.reconciled = SimStats::default();
         self.streams.reset();
+        self.metrics.reset();
     }
 
     /// Allocate a global-memory buffer.
@@ -249,6 +301,7 @@ impl Device {
         });
         let before = self.stats;
         self.record_span(SpanKind::Alloc, label, before, 0);
+        self.publish_memory_gauges();
         Ok(id)
     }
 
@@ -263,7 +316,16 @@ impl Device {
         self.timeline.push(Event::Free { bytes });
         let before = self.stats;
         self.record_span(SpanKind::Free, format!("free.{bytes}B"), before, 0);
+        self.publish_memory_gauges();
         Ok(())
+    }
+
+    /// Refresh the device-memory gauges after an alloc/free.
+    fn publish_memory_gauges(&mut self) {
+        self.metrics
+            .set_gauge("kw_device_mem_in_use_bytes", self.memory.in_use() as f64);
+        self.metrics
+            .set_gauge("kw_device_mem_peak_bytes", self.memory.peak() as f64);
     }
 
     /// Charge one kernel execution and record it.
@@ -443,7 +505,7 @@ impl Device {
             cost.total_cycles(),
             self.clock_cycles,
         )?;
-        self.record_span_at(SpanKind::Kernel, label, before, start, end);
+        self.record_span_at(SpanKind::Kernel, label, before, start, end, Some(engine));
         Ok(cost)
     }
 
@@ -475,7 +537,7 @@ impl Device {
             self.config.seconds_to_cycles(seconds),
             self.clock_cycles,
         )?;
-        self.record_span_at(SpanKind::Transfer, label, before, start, end);
+        self.record_span_at(SpanKind::Transfer, label, before, start, end, Some(engine));
         Ok(seconds)
     }
 
@@ -525,7 +587,7 @@ impl Device {
             duration_cycles,
             self.clock_cycles,
         )?;
-        self.record_span_at(SpanKind::Kernel, label, before, start, end);
+        self.record_span_at(SpanKind::Kernel, label, before, start, end, Some(engine));
         Ok(())
     }
 
@@ -841,6 +903,51 @@ mod tests {
         let err = d.compute_on(s, "stale", &delta, 10).unwrap_err();
         assert!(matches!(err, SimError::InvalidStream { .. }));
         assert_eq!(d.stats().kernel_launches, 0, "stale handle charges nothing");
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_stats_and_resets() {
+        let mut d = device();
+        let res = KernelResources {
+            registers_per_thread: 20,
+            shared_per_cta: 0,
+        };
+        let b = d.alloc(1 << 20, "buf").unwrap();
+        d.transfer(Direction::HostToDevice, 1 << 20).unwrap();
+        d.launch("k", LaunchDims::new(512, 256), res, &quantities(1 << 20))
+            .unwrap();
+        let s = d.create_stream();
+        d.launch_on(
+            s,
+            "k2",
+            LaunchDims::new(512, 256),
+            res,
+            &quantities(1 << 20),
+        )
+        .unwrap();
+        let m = d.metrics();
+        assert_eq!(m.counter("kw_gpu_cycles_total"), d.stats().gpu_cycles);
+        assert_eq!(m.counter("kw_global_bytes_total"), d.stats().global_bytes());
+        assert_eq!(m.counter("kw_h2d_bytes_total"), d.stats().h2d_bytes);
+        assert_eq!(m.counter("kw_kernel_launches_total"), 2);
+        assert_eq!(m.counter("kw_kernel_spans_total"), 2);
+        assert_eq!(m.counter("kw_pcie_spans_total"), 1);
+        assert_eq!(m.counter("kw_spans_total"), d.spans().len() as u64);
+        let h = m.histogram("kw_kernel_cycles").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(
+            h.sum(),
+            d.stats().gpu_cycles,
+            "both kernels charged serially-priced cycles"
+        );
+        assert_eq!(
+            m.gauge("kw_device_mem_in_use_bytes"),
+            Some((1 << 20) as f64)
+        );
+        d.free(b).unwrap();
+        assert_eq!(d.metrics().gauge("kw_device_mem_in_use_bytes"), Some(0.0));
+        d.reset_stats();
+        assert!(d.metrics().is_empty());
     }
 
     #[test]

@@ -33,7 +33,9 @@ mod cost;
 mod device;
 mod error;
 mod fault;
+mod jsonval;
 mod memory;
+mod metrics;
 mod occupancy;
 mod pcie;
 mod stats;
@@ -46,7 +48,9 @@ pub use cost::{kernel_cost, KernelCost, KernelQuantities, KernelResources, Launc
 pub use device::Device;
 pub use error::{Result, SimError};
 pub use fault::{FaultConfig, FaultInjector, FaultKind, ScriptedFault};
+pub use jsonval::{parse_json, JsonValue};
 pub use memory::{BufferId, MemoryTracker};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use pcie::{pcie_seconds, Direction};
 pub use stats::SimStats;

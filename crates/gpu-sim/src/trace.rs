@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::SimStats;
+use crate::{Engine, SimStats};
 
 /// What kind of device operation a [`Span`] records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +77,11 @@ pub struct Span {
     /// Exactly what this operation charged: the difference between the
     /// device's aggregate [`SimStats`] after and before it.
     pub delta: SimStats,
+    /// The hardware engine this operation occupied, when it went through
+    /// the stream model (`None` for serial-path and instant events). Used
+    /// by the Chrome export to give each engine its own lane, so
+    /// copy-compute overlap is visible instead of collapsing into one row.
+    pub engine: Option<Engine>,
 }
 
 impl Span {
@@ -291,7 +296,7 @@ pub fn summary_table(rows: &[OperatorSummary]) -> String {
 }
 
 /// Escape a string for inclusion in a JSON string literal.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -317,18 +322,45 @@ fn escape_json(s: &str) -> String {
 /// complete events; instant events (alloc/free/fault) become `"i"` events.
 /// Every event carries its provenance and `SimStats` delta in `args`.
 pub fn chrome_trace_json(spans: &[Span], clock_ghz: f64) -> String {
-    // Lanes: one Chrome "thread" per operation family keeps Perfetto rows
-    // tidy.
-    let tid = |k: SpanKind| match k {
+    // Lanes: the serial-path families keep the three fixed rows; every
+    // distinct stream-model engine gets its own row above them. Deriving
+    // the lane purely from SpanKind used to collapse concurrent ops on
+    // different engines into one Perfetto row, hiding the very overlap
+    // the stream model exists to show.
+    let kind_tid = |k: SpanKind| match k {
         SpanKind::Kernel => 0,
         SpanKind::Transfer | SpanKind::Backoff => 1,
         SpanKind::Alloc | SpanKind::Free | SpanKind::Fault => 2,
     };
+    let mut engine_lanes: BTreeMap<Engine, u64> = BTreeMap::new();
+    for s in spans {
+        if let Some(e) = s.engine {
+            if !engine_lanes.contains_key(&e) {
+                engine_lanes.insert(e, 3 + engine_lanes.len() as u64);
+            }
+        }
+    }
+    let tid = |s: &Span| match s.engine {
+        Some(e) => engine_lanes[&e],
+        None => kind_tid(s.kind),
+    };
     let us = |cycles: u64| cycles as f64 / (clock_ghz * 1e3);
+
+    let mut lanes: Vec<(u64, String)> = vec![
+        (0, "compute".to_string()),
+        (1, "pcie+backoff".to_string()),
+        (2, "memory+faults".to_string()),
+    ];
+    lanes.extend(
+        engine_lanes
+            .iter()
+            .map(|(e, &t)| (t, format!("engine:{}", e.name()))),
+    );
+    lanes.sort_by_key(|&(t, _)| t);
 
     let mut out = String::new();
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-    for (name, t) in [("compute", 0), ("pcie+backoff", 1), ("memory+faults", 2)] {
+    for (t, name) in &lanes {
         let _ = writeln!(
             out,
             "{{\"ph\":\"M\",\"pid\":0,\"tid\":{t},\"name\":\"thread_name\",\
@@ -370,7 +402,7 @@ pub fn chrome_trace_json(spans: &[Span], clock_ghz: f64) -> String {
                 escape_json(&s.label),
                 s.kind.name(),
                 us(s.start_cycle),
-                tid(s.kind),
+                tid(s),
                 args
             );
         } else {
@@ -382,7 +414,7 @@ pub fn chrome_trace_json(spans: &[Span], clock_ghz: f64) -> String {
                 s.kind.name(),
                 us(s.start_cycle),
                 us(s.cycles()),
-                tid(s.kind),
+                tid(s),
                 args
             );
         }
@@ -743,6 +775,7 @@ mod tests {
             start_cycle: start,
             end_cycle: start + cycles,
             delta: d,
+            engine: None,
         }
     }
 
@@ -852,6 +885,37 @@ mod tests {
         ];
         let json = chrome_trace_json(&spans, 1.15);
         assert_eq!(validate_chrome_json(&json).unwrap(), 3);
+    }
+
+    #[test]
+    fn streamed_spans_get_one_lane_per_engine() {
+        // Three concurrent ops on three distinct engines must land on
+        // three distinct rows (tids 3+), each with its own thread_name
+        // metadata; an engine-less serial span keeps the legacy lane.
+        let mut spans = vec![
+            span(SpanKind::Kernel, "k", "q0", 0, 10, kernel_delta(10, 64)),
+            span(SpanKind::Transfer, "h2d", "q1", 0, 8, SimStats::default()),
+            span(SpanKind::Transfer, "d2h", "q2", 0, 6, SimStats::default()),
+            span(SpanKind::Kernel, "serial", "", 20, 4, kernel_delta(4, 16)),
+        ];
+        spans[0].engine = Some(Engine::Compute(0));
+        spans[1].engine = Some(Engine::CopyH2D);
+        spans[2].engine = Some(Engine::CopyD2H);
+        let json = chrome_trace_json(&spans, 1.15);
+        validate_chrome_json(&json).unwrap();
+        for lane in ["\"tid\":3", "\"tid\":4", "\"tid\":5"] {
+            assert!(json.contains(lane), "missing {lane} in:\n{json}");
+        }
+        for name in ["engine:compute0", "engine:copy.h2d", "engine:copy.d2h"] {
+            assert!(json.contains(name), "missing lane metadata {name}");
+        }
+        // The serial kernel stays on the fixed compute lane.
+        assert!(json.contains("\"name\":\"serial\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":"));
+        let serial_evt = json
+            .lines()
+            .find(|l| l.contains("\"name\":\"serial\""))
+            .unwrap();
+        assert!(serial_evt.contains("\"tid\":0"), "{serial_evt}");
     }
 
     #[test]

@@ -11,13 +11,17 @@
 
 use kw_gpu_sim::validate_json;
 
-const REQUIRED_KEYS: [&str; 6] = [
+const REQUIRED_KEYS: [&str; 10] = [
     "\"experiment\"",
     "\"rows\"",
     "\"batched_fused_seconds\"",
     "\"serial_fused_seconds\"",
     "\"throughput_qps\"",
     "\"speedup_vs_serial\"",
+    "\"latency_p50_seconds\"",
+    "\"latency_p95_seconds\"",
+    "\"latency_p99_seconds\"",
+    "\"engine_utilization\"",
 ];
 
 fn main() {

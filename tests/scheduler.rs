@@ -121,6 +121,15 @@ proptest! {
             prop_assert_eq!(&a.outputs, &b.outputs);
             prop_assert_eq!(a.latency_seconds.to_bits(), b.latency_seconds.to_bits());
         }
+        // The histogram-derived percentiles are deterministic too.
+        prop_assert_eq!(
+            batch.latency_p50_seconds.to_bits(),
+            again.latency_p50_seconds.to_bits()
+        );
+        prop_assert_eq!(
+            batch.latency_p99_seconds.to_bits(),
+            again.latency_p99_seconds.to_bits()
+        );
 
         // Reversing the batch reorders streams but not answers.
         let reversed: Vec<BatchQuery<'_>> = queries.iter().rev().copied().collect();
@@ -185,4 +194,79 @@ fn concurrent_batch_strictly_beats_serial_with_identical_outputs() {
         solo_sum
     );
     assert!((batch.throughput_qps - 3.0 / batch.makespan_seconds).abs() < 1e-9);
+}
+
+/// The observability fields of `BatchReport`: latency percentiles come
+/// from the log-bucketed histogram (monotone, and p99's bucket upper
+/// bound dominates the slowest observed query), per-engine busy time is
+/// reported in seconds, and utilization is busy over makespan in (0, 1].
+#[test]
+fn batch_report_percentiles_and_engine_utilization_are_consistent() {
+    let a = gen::micro_input(150_000, 81);
+    let b = gen::micro_input(120_000, 82);
+    let c = gen::micro_input(90_000, 83);
+    let pa = chain(&a, 2);
+    let pb = chain(&b, 3);
+    let pc = chain(&c, 2);
+    let (ba, bb, bc) = ([("t", &a)], [("t", &b)], [("t", &c)]);
+    let queries = [
+        BatchQuery {
+            name: "alpha",
+            plan: &pa,
+            bindings: &ba,
+        },
+        BatchQuery {
+            name: "beta",
+            plan: &pb,
+            bindings: &bb,
+        },
+        BatchQuery {
+            name: "gamma",
+            plan: &pc,
+            bindings: &bc,
+        },
+    ];
+
+    let mut dev = device();
+    let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
+
+    // Percentiles are monotone, positive, and the p99 bucket's upper bound
+    // covers the slowest query's measured latency.
+    assert!(batch.latency_p50_seconds > 0.0);
+    assert!(batch.latency_p50_seconds <= batch.latency_p95_seconds);
+    assert!(batch.latency_p95_seconds <= batch.latency_p99_seconds);
+    let slowest = batch
+        .queries
+        .iter()
+        .map(|q| q.latency_seconds)
+        .fold(0.0f64, f64::max);
+    assert!(
+        batch.latency_p99_seconds >= slowest,
+        "p99 bucket bound {} under max latency {slowest}",
+        batch.latency_p99_seconds
+    );
+
+    // Engine accounting: the three Fermi engines all worked, busy time is
+    // bounded by the makespan, and utilization = busy / makespan.
+    for engine in ["compute0", "copy.h2d", "copy.d2h"] {
+        let busy = *batch
+            .engine_busy_seconds
+            .get(engine)
+            .unwrap_or_else(|| panic!("missing engine {engine}"));
+        let util = batch.engine_utilization[engine];
+        assert!(busy > 0.0, "{engine} idle");
+        assert!(busy <= batch.makespan_seconds + 1e-12, "{engine}");
+        assert!(util > 0.0 && util <= 1.0 + 1e-9, "{engine} util {util}");
+        assert!(
+            (util - busy / batch.makespan_seconds).abs() < 1e-9,
+            "{engine}"
+        );
+    }
+
+    // The attached profile covers the whole batch window.
+    assert!(batch.profile.wall_seconds > 0.0);
+    assert!(
+        (batch.profile.wall_seconds - batch.makespan_seconds).abs()
+            < 1e-12 + 1e-9 * batch.makespan_seconds
+    );
 }

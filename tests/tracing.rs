@@ -3,11 +3,13 @@
 //! to the aggregate `SimStats`) for fused and unfused runs under fault
 //! injection, and the fusion signature visible in the spans themselves.
 
+use proptest::prelude::*;
+
 use kw_core::{execute_resilient, RetryPolicy, WeaverConfig};
 use kw_gpu_sim::{
     chrome_trace_json, reconcile, validate_chrome_json, Device, DeviceConfig, FaultConfig, SpanKind,
 };
-use kw_tpch::Workload;
+use kw_tpch::{Pattern, Workload};
 
 fn q1() -> Workload {
     kw_tpch::q1(2.0, 7)
@@ -135,4 +137,76 @@ fn fused_trace_has_fewer_kernel_spans_and_less_global_traffic() {
         .spans()
         .iter()
         .any(|s| s.provenance.contains("fused[")));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The metrics registry is part of the deterministic surface: two
+    /// identical seeded runs export byte-identical Prometheus text and
+    /// JSON snapshots, whatever the pattern, size, seed or fusion mode.
+    #[test]
+    fn metrics_snapshots_are_deterministic(
+        pat_idx in 0usize..Pattern::all().len(),
+        n in 512usize..4_096,
+        seed in any::<u64>(),
+        fusion in any::<bool>(),
+    ) {
+        let w = Pattern::all()[pat_idx].build(n, seed);
+        let config = WeaverConfig { fusion, ..WeaverConfig::default() };
+        let mut d1 = Device::new(DeviceConfig::fermi_c2050());
+        let mut d2 = Device::new(DeviceConfig::fermi_c2050());
+        w.run(&mut d1, &config).expect("first run");
+        w.run(&mut d2, &config).expect("second run");
+        prop_assert_eq!(
+            d1.metrics().prometheus_text(),
+            d2.metrics().prometheus_text()
+        );
+        prop_assert_eq!(d1.metrics().to_json(), d2.metrics().to_json());
+    }
+
+    /// The histogram/counter layer reconciles with the span log and the
+    /// aggregate `SimStats` it was folded from: the kernel-cycle histogram
+    /// counts exactly the kernel spans and sums exactly their durations,
+    /// and every mirrored counter equals its `SimStats` source.
+    #[test]
+    fn metric_totals_reconcile_with_stats_and_spans(
+        pat_idx in 0usize..Pattern::all().len(),
+        n in 512usize..4_096,
+        seed in any::<u64>(),
+        fusion in any::<bool>(),
+    ) {
+        let w = Pattern::all()[pat_idx].build(n, seed);
+        let config = WeaverConfig { fusion, ..WeaverConfig::default() };
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        w.run(&mut dev, &config).expect("workload executes");
+
+        let kernel_spans: Vec<_> = dev
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Kernel)
+            .collect();
+        let hist = dev
+            .metrics()
+            .histogram("kw_kernel_cycles")
+            .expect("kernel histogram populated");
+        prop_assert_eq!(hist.count(), kernel_spans.len() as u64);
+        let span_cycles: u64 = kernel_spans.iter().map(|s| s.cycles()).sum();
+        prop_assert_eq!(hist.sum(), span_cycles);
+        // Serial resident runs charge GPU cycles only through kernel spans.
+        prop_assert_eq!(span_cycles, dev.stats().gpu_cycles);
+
+        let m = dev.metrics();
+        prop_assert_eq!(m.counter("kw_gpu_cycles_total"), dev.stats().gpu_cycles);
+        prop_assert_eq!(m.counter("kw_launch_cycles_total"), dev.stats().launch_cycles);
+        prop_assert_eq!(
+            m.counter("kw_kernel_launches_total"),
+            dev.stats().kernel_launches
+        );
+        prop_assert_eq!(m.counter("kw_global_bytes_total"), dev.stats().global_bytes());
+        prop_assert_eq!(m.counter("kw_h2d_bytes_total"), dev.stats().h2d_bytes);
+        prop_assert_eq!(m.counter("kw_d2h_bytes_total"), dev.stats().d2h_bytes);
+        prop_assert_eq!(m.counter("kw_spans_total"), dev.spans().len() as u64);
+        prop_assert_eq!(m.counter("kw_plans_executed_total"), 1);
+    }
 }
