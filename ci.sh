@@ -42,8 +42,16 @@ echo "== scheduler benchmark JSON (paper_tables -- scheduler)"
 # section itself asserts batched-fused < batched-unfused < serial-fused.
 bench_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$bench_dir"' EXIT
-cargo run -q --release -p kw-bench --bin paper_tables -- scheduler profile --csv "$bench_dir" > /dev/null
+cargo run -q --release -p kw-bench --bin paper_tables -- scheduler profile batch_resilience --csv "$bench_dir" > /dev/null
 cargo run -q -p kw-examples --example bench_json_check -- "$bench_dir/BENCH_scheduler.json"
+
+echo "== batch resilience gate (examples/batch_resilience.rs)"
+# Runs a seeded batch whose outcomes must cover the whole taxonomy
+# (Completed / Retried / Degraded / Failed) with survivors byte-identical
+# to the fault-free run, then schema-validates the campaign's
+# BENCH_batch_resilience.json; exits non-zero on any INVALID line.
+cargo run -q -p kw-examples --example batch_resilience -- \
+    "$bench_dir/BENCH_batch_resilience.json" > /dev/null
 
 echo "== observability schema validation (examples/profile.rs)"
 # Prints the bottleneck profile and Prometheus export for a staged run and

@@ -143,13 +143,17 @@ fn direction(path: &str) -> Direction {
         return Direction::LowerIsBetter;
     }
     if leaf == "throughput_qps"
+        || leaf == "goodput_qps"
         || leaf == "speedup_vs_serial"
         || leaf == "fusion_gain"
         || path.contains("engine_utilization")
     {
         return Direction::HigherIsBetter;
     }
-    if leaf == "queries" || leaf == "tuples_per_query" {
+    if leaf == "quarantined" {
+        return Direction::LowerIsBetter;
+    }
+    if leaf == "queries" || leaf == "tuples_per_query" || leaf == "waves" {
         return Direction::Exact;
     }
     Direction::TwoSided
@@ -284,6 +288,25 @@ mod tests {
         // A missing key fails; an extra fresh key is fine.
         assert_eq!(diff("{\"a\": 1}", "{\"b\": 1}").len(), 1);
         assert!(diff("{\"a\": 1}", "{\"a\": 1, \"b\": 2}").is_empty());
+    }
+
+    #[test]
+    fn resilience_metrics_have_typed_directions() {
+        // Goodput may not fall...
+        assert!(diff("{\"goodput_qps\": 100}", "{\"goodput_qps\": 120}").is_empty());
+        assert_eq!(
+            diff("{\"goodput_qps\": 100}", "{\"goodput_qps\": 90}").len(),
+            1
+        );
+        // ...quarantines may not rise...
+        assert!(diff("{\"quarantined\": 2}", "{\"quarantined\": 0}").is_empty());
+        assert_eq!(
+            diff("{\"quarantined\": 0}", "{\"quarantined\": 1}").len(),
+            1
+        );
+        // ...and the wave structure is exact.
+        assert_eq!(diff("{\"waves\": 2}", "{\"waves\": 3}").len(), 1);
+        assert!(diff("{\"waves\": 2}", "{\"waves\": 2}").is_empty());
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use kw_bench::experiments::{
-    ablations, capacity, density, fig04, fig16, fig17, fig18, fig19, fig20, fig21, overlap,
-    platforms, profile, queries, robustness, scheduler, table2, table3, trace,
+    ablations, batch_resilience, capacity, density, fig04, fig16, fig17, fig18, fig19, fig20,
+    fig21, overlap, platforms, profile, queries, robustness, scheduler, table2, table3, trace,
 };
 
 fn main() {
@@ -481,10 +481,10 @@ fn main() {
             );
         }
         println!("  (batched-fused < batched-unfused < serial-fused on every row)");
-        println!("  Per-query latency (fused batch) and engine utilization:");
+        println!("  Per-query latency (fused batch), retry/backoff and engine utilization:");
         println!(
-            "{:>8}  {:>10}  {:>10}  {:>10}  engines",
-            "queries", "p50", "p95", "p99"
+            "{:>8}  {:>10}  {:>10}  {:>10}  {:>7}  {:>10}  engines",
+            "queries", "p50", "p95", "p99", "retries", "backoff"
         );
         for r in &rows {
             let engines = r
@@ -494,13 +494,16 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join("  ");
             println!(
-                "{:>8}  {:>7.3} ms  {:>7.3} ms  {:>7.3} ms  {engines}",
+                "{:>8}  {:>7.3} ms  {:>7.3} ms  {:>7.3} ms  {:>7}  {:>7.3} ms  {engines}",
                 r.queries,
                 r.latency_p50 * 1e3,
                 r.latency_p95 * 1e3,
                 r.latency_p99 * 1e3,
+                r.retries_total,
+                r.backoff_seconds * 1e3,
             );
         }
+        println!("  (fault-free campaign: retries and backoff are quoted, and zero)");
         // Machine-readable results for the CI gate, always emitted; `--csv`
         // only redirects where they land.
         let dir = csv_dir.clone().unwrap_or_else(|| "bench_results".into());
@@ -759,6 +762,92 @@ fn main() {
         );
         println!("  (every row produced identical outputs; retries and backoff are");
         println!("   reported by the resilient driver, never silently absorbed)");
+        println!();
+    });
+
+    run(&["batch_resilience"], &|| {
+        section("Batch resilience: fault rate x batch size on an oversubscribed device");
+        let n = 1 << 14;
+        println!(
+            "  {n} tuples/query, one {}x whale per batch, device sized so the heaviest",
+            batch_resilience::WHALE_FACTOR
+        );
+        println!("  normal query fits a wave alone and the whale fits none\n");
+        println!(
+            "{:>6}  {:>7}  {:>5}  {:>5}  {:>7}  {:>8}  {:>6}  {:>7}  {:>10}  {:>10}  {:>10}",
+            "rate",
+            "queries",
+            "waves",
+            "done",
+            "retried",
+            "degraded",
+            "quar",
+            "retries",
+            "backoff",
+            "goodput",
+            "p99"
+        );
+        let rows = batch_resilience::run(
+            n,
+            &batch_resilience::FAULT_RATES,
+            &batch_resilience::BATCH_SIZES,
+        );
+        for r in &rows {
+            assert!(
+                batch_resilience::taxonomy_is_total(r),
+                "outcome taxonomy must account for every query: {r:?}"
+            );
+            println!(
+                "{:>5.0}%  {:>7}  {:>5}  {:>5}  {:>7}  {:>8}  {:>6}  {:>7}  {:>7.3} ms  {:>6.1} q/s  {:>7.3} ms",
+                r.fault_rate * 100.0,
+                r.queries,
+                r.waves,
+                r.completed,
+                r.retried,
+                r.degraded,
+                r.quarantined,
+                r.retries_total,
+                r.backoff_seconds * 1e3,
+                r.goodput_qps,
+                r.latency_p99_seconds * 1e3,
+            );
+        }
+        println!("  (admission waves absorb the oversubscription, the whale degrades");
+        println!("   down the ladder, and faults cost retries/backoff — not the batch)");
+        // Machine-readable results for the CI gate, always emitted; `--csv`
+        // only redirects where they land.
+        let dir = csv_dir.clone().unwrap_or_else(|| "bench_results".into());
+        std::fs::create_dir_all(&dir).expect("create bench_results dir");
+        let path = dir.join("BENCH_batch_resilience.json");
+        let json = batch_resilience::to_json(n, &rows);
+        kw_gpu_sim::validate_json(&json).expect("batch_resilience JSON must parse");
+        std::fs::write(&path, json).expect("write BENCH_batch_resilience.json");
+        println!("  wrote {}", path.display());
+        csv(
+            "batch_resilience.csv",
+            "fault_rate,queries,waves,completed,retried,degraded,quarantined,\
+             retries_total,backoff_seconds,goodput_qps,makespan_seconds,latency_p99_seconds",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},{},{},{},{},{},{},{},{},{}",
+                        r.fault_rate,
+                        r.queries,
+                        r.waves,
+                        r.completed,
+                        r.retried,
+                        r.degraded,
+                        r.quarantined,
+                        r.retries_total,
+                        r.backoff_seconds,
+                        r.goodput_qps,
+                        r.makespan_seconds,
+                        r.latency_p99_seconds
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
         println!();
     });
 

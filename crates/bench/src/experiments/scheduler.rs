@@ -42,6 +42,11 @@ pub struct Row {
     /// Per-engine utilization of the fused batch (busy / makespan), keyed
     /// by engine name, in name order.
     pub engine_utilization: Vec<(String, f64)>,
+    /// Transient-fault retries absorbed across the fused batch's queries
+    /// (0 on this fault-free campaign — quoted so the table states it).
+    pub retries_total: u64,
+    /// Retry backoff charged across the fused batch's queries, seconds.
+    pub backoff_seconds: f64,
 }
 
 impl Row {
@@ -119,6 +124,8 @@ fn run_batch(n: usize, k: usize) -> Row {
             .iter()
             .map(|(name, &u)| (name.clone(), u))
             .collect(),
+        retries_total: fused.queries.iter().map(|q| u64::from(q.retries)).sum(),
+        backoff_seconds: fused.queries.iter().map(|q| q.backoff_seconds).sum(),
     }
 }
 
@@ -143,6 +150,7 @@ pub fn to_json(n: usize, rows: &[Row]) -> String {
              \"throughput_qps\": {}, \"speedup_vs_serial\": {}, \
              \"fusion_gain\": {}, \"latency_p50_seconds\": {}, \
              \"latency_p95_seconds\": {}, \"latency_p99_seconds\": {}, \
+             \"retries_total\": {}, \"backoff_seconds\": {}, \
              \"engine_utilization\": {{{engines}}}}}{}\n",
             r.queries,
             r.batched_fused,
@@ -154,6 +162,8 @@ pub fn to_json(n: usize, rows: &[Row]) -> String {
             r.latency_p50,
             r.latency_p95,
             r.latency_p99,
+            r.retries_total,
+            r.backoff_seconds,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -2,6 +2,32 @@
 
 use std::fmt;
 
+/// Why the Resident → Staged → Chunked degradation ladder ran out of
+/// rungs: the typed reason behind a [`WeaverError::LadderExhausted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderStop {
+    /// The plan is not elementwise, so no chunked rung exists below Staged
+    /// (row-streaming would change non-streaming operators' answers).
+    NonElementwiseBlocksChunking,
+    /// Doubling the chunk count again would exceed
+    /// [`crate::admission::MAX_CHUNKS`].
+    MaxChunksExceeded,
+}
+
+impl fmt::Display for LadderStop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LadderStop::NonElementwiseBlocksChunking => {
+                write!(
+                    f,
+                    "plan is not elementwise so chunked streaming is unavailable"
+                )
+            }
+            LadderStop::MaxChunksExceeded => write!(f, "chunk-count ceiling reached"),
+        }
+    }
+}
+
 /// Errors produced while building, compiling or executing query plans.
 #[derive(Debug)]
 pub enum WeaverError {
@@ -29,6 +55,14 @@ pub enum WeaverError {
         /// Description of the capacity shortfall.
         detail: String,
     },
+    /// A mid-run capacity miss found no rung left below the failing mode:
+    /// the degradation ladder is exhausted, with a typed reason why.
+    LadderExhausted {
+        /// Why no further rung exists.
+        stop: LadderStop,
+        /// The capacity error that hit the bottom rung.
+        detail: String,
+    },
 }
 
 impl WeaverError {
@@ -49,6 +83,14 @@ impl WeaverError {
     /// Convenience constructor for admission-control rejections.
     pub fn admission(detail: impl Into<String>) -> WeaverError {
         WeaverError::Admission {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for ladder-exhaustion errors.
+    pub fn ladder_exhausted(stop: LadderStop, detail: impl Into<String>) -> WeaverError {
+        WeaverError::LadderExhausted {
+            stop,
             detail: detail.into(),
         }
     }
@@ -86,6 +128,9 @@ impl fmt::Display for WeaverError {
             WeaverError::Sim(e) => write!(f, "{e}"),
             WeaverError::Binding { detail } => write!(f, "input binding error: {detail}"),
             WeaverError::Admission { detail } => write!(f, "admission rejected: {detail}"),
+            WeaverError::LadderExhausted { stop, detail } => {
+                write!(f, "degradation ladder exhausted ({stop}): {detail}")
+            }
         }
     }
 }
@@ -140,6 +185,13 @@ mod tests {
         assert!(WeaverError::admission("too big")
             .to_string()
             .contains("too big"));
+        let stop = WeaverError::ladder_exhausted(LadderStop::MaxChunksExceeded, "oom at 1024");
+        assert!(stop.to_string().contains("chunk-count ceiling"));
+        assert!(stop.to_string().contains("oom at 1024"));
+        let stop =
+            WeaverError::ladder_exhausted(LadderStop::NonElementwiseBlocksChunking, "oom staged");
+        assert!(stop.to_string().contains("not elementwise"));
+        assert!(!stop.is_transient() && !stop.is_capacity());
     }
 
     #[test]

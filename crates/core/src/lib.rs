@@ -69,8 +69,8 @@ mod selection;
 mod weave;
 
 pub use admission::{
-    admit, admit_batch, AdmissionReport, AdmittedMode, BatchAdmission, BatchAdmissionQuery,
-    MAX_CHUNKS,
+    admit, admit_batch, plan_waves, AdmissionReport, AdmittedMode, BatchAdmission,
+    BatchAdmissionQuery, BatchWavePlan, QueryAdmission, MAX_CHUNKS,
 };
 pub use candidates::{
     find_candidates, is_input_node, is_weavable, kernel_boundaries, FusionOptions,
@@ -80,7 +80,7 @@ pub use chunked::{
 };
 pub use compile::{compile, CompiledPlan, CompiledStep, WeaverConfig};
 pub use dot::plan_to_dot;
-pub use error::{Result, WeaverError};
+pub use error::{LadderStop, Result, WeaverError};
 pub use executor::{execute_compiled, execute_plan, ExecMode, PlanReport};
 pub use plan::{NodeId, PlanNode, QueryPlan};
 pub use profile::{Bottleneck, OperatorProfile, ProfileReport};
@@ -88,6 +88,9 @@ pub use reschedule::{reschedule, Rescheduled};
 pub use resilient::{
     execute_compiled_resilient, execute_resilient, Degradation, ResilienceReport, RetryPolicy,
 };
-pub use scheduler::{execute_batch, BatchQuery, BatchQueryReport, BatchReport};
+pub use scheduler::{
+    execute_batch, execute_batch_with_policy, BatchQuery, BatchQueryReport, BatchReport,
+    QueryOutcome,
+};
 pub use selection::{select_fusions, ResourceBudget};
 pub use weave::{weave, WovenOperator};

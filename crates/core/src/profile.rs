@@ -75,6 +75,10 @@ pub struct OperatorProfile {
     pub memory_share: f64,
     /// This scope's verdict under the classification rule.
     pub bottleneck: Bottleneck,
+    /// For batch executions: the owning query's outcome (`completed`,
+    /// `retried`, `degraded`, `failed`), folded in by the scheduler via
+    /// [`ProfileReport::annotate_outcomes`]. `None` for plan-level rows.
+    pub outcome: Option<String>,
 }
 
 /// Roofline-style attribution for one execution: achieved vs. peak
@@ -209,6 +213,7 @@ impl ProfileReport {
                     pcie_seconds: g.pcie_seconds,
                     launch_share: frac(g.launch_cycles as f64, g.gpu_cycles as f64),
                     memory_share: frac(g.global_access_cycles as f64, g.gpu_cycles as f64),
+                    outcome: None,
                 }
             })
             .collect();
@@ -236,6 +241,17 @@ impl ProfileReport {
                 other_cycles,
             ),
             operators,
+        }
+    }
+
+    /// Fold per-query batch outcomes into the matching operator rows:
+    /// every row whose scope starts with an `(scope, outcome)` pair's
+    /// scope gets that outcome label. Rows without a match keep `None`.
+    pub fn annotate_outcomes(&mut self, outcomes: &[(String, String)]) {
+        for row in &mut self.operators {
+            if let Some((_, outcome)) = outcomes.iter().find(|(scope, _)| &row.operator == scope) {
+                row.outcome = Some(outcome.clone());
+            }
         }
     }
 
@@ -308,17 +324,22 @@ impl ProfileReport {
             if i > 0 {
                 out.push(',');
             }
+            let outcome = match &op.outcome {
+                Some(o) => format!(", \"outcome\": \"{}\"", escape_json(o)),
+                None => String::new(),
+            };
             let _ = write!(
                 out,
                 "\n    {{\"operator\": \"{}\", \"bottleneck\": \"{}\", \
                  \"gpu_seconds\": {}, \"pcie_seconds\": {}, \
-                 \"launch_share\": {}, \"memory_share\": {}}}",
+                 \"launch_share\": {}, \"memory_share\": {}{}}}",
                 escape_json(&op.operator),
                 op.bottleneck,
                 json_f64(op.gpu_seconds),
                 json_f64(op.pcie_seconds),
                 json_f64(op.launch_share),
                 json_f64(op.memory_share),
+                outcome,
             );
         }
         if self.operators.is_empty() {
@@ -355,13 +376,17 @@ impl ProfileReport {
         for op in &self.operators {
             let _ = writeln!(
                 out,
-                "  {:<44} {:>8}  gpu {:>9.3} ms  pcie {:>9.3} ms  launch {:>4.0}%  mem {:>4.0}%",
+                "  {:<44} {:>8}  gpu {:>9.3} ms  pcie {:>9.3} ms  launch {:>4.0}%  mem {:>4.0}%{}",
                 op.operator,
                 op.bottleneck.name(),
                 op.gpu_seconds * 1e3,
                 op.pcie_seconds * 1e3,
                 op.launch_share * 100.0,
                 op.memory_share * 100.0,
+                match &op.outcome {
+                    Some(o) => format!("  [{o}]"),
+                    None => String::new(),
+                },
             );
         }
         out
@@ -456,6 +481,30 @@ mod tests {
         validate_json(&p.to_json()).expect("profile JSON parses");
         assert!(p.to_json().contains("\"bottleneck\": \"memory\""));
         assert!(p.summary().contains("step1:join"));
+    }
+
+    #[test]
+    fn outcome_annotation_reaches_matching_rows_and_json() {
+        let config = kw_gpu_sim::DeviceConfig::fermi_c2050();
+        let mk = SimStats {
+            kernel_launches: 1,
+            launch_cycles: 10,
+            gpu_cycles: 10,
+            ..SimStats::default()
+        };
+        let spans = vec![span("q0:alpha/step0", mk), span("q1:beta/step0", mk)];
+        let mut stats = SimStats::default();
+        for s in &spans {
+            stats.merge(&s.delta);
+        }
+        let mut p = ProfileReport::from_spans(&spans, &stats, &config, 1e-3);
+        p.annotate_outcomes(&[("q1:beta".to_string(), "retried".to_string())]);
+        assert_eq!(p.operators[0].outcome, None);
+        assert_eq!(p.operators[1].outcome.as_deref(), Some("retried"));
+        let json = p.to_json();
+        validate_json(&json).expect("annotated profile JSON parses");
+        assert!(json.contains("\"outcome\": \"retried\""));
+        assert!(p.summary().contains("[retried]"));
     }
 
     #[test]

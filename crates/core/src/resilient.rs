@@ -24,6 +24,7 @@ use kw_relational::Relation;
 
 use crate::admission::{admit, AdmissionReport, AdmittedMode, MAX_CHUNKS};
 use crate::chunked::{execute_chunked_compiled, is_elementwise};
+use crate::error::LadderStop;
 use crate::{compile, CompiledPlan, ExecMode, PlanReport, QueryPlan, Result, WeaverConfig};
 
 /// Retry/degradation policy for [`execute_resilient`].
@@ -245,7 +246,7 @@ pub fn execute_compiled_resilient(
                 retries += 1;
             }
             Err(e) if e.is_capacity() => match next_rung(mode, plan) {
-                Some(next) => {
+                Ok(next) => {
                     degradations.push(Degradation {
                         from: mode,
                         to: next,
@@ -254,21 +255,35 @@ pub fn execute_compiled_resilient(
                     mode = next;
                     retries_this_rung = 0;
                 }
-                None => return Err(e),
+                Err(stop) => return Err(crate::WeaverError::ladder_exhausted(stop, e.to_string())),
             },
             Err(e) => return Err(e),
         }
     }
 }
 
-/// The rung below `mode`, if the ladder has one for this plan.
-fn next_rung(mode: AdmittedMode, plan: &QueryPlan) -> Option<AdmittedMode> {
+/// The rung below `mode`, or the typed [`LadderStop`] explaining why the
+/// ladder has none for this plan.
+fn next_rung(
+    mode: AdmittedMode,
+    plan: &QueryPlan,
+) -> std::result::Result<AdmittedMode, LadderStop> {
     match mode {
-        AdmittedMode::Resident => Some(AdmittedMode::Staged),
-        AdmittedMode::Staged => is_elementwise(plan).then_some(AdmittedMode::Chunked { chunks: 2 }),
+        AdmittedMode::Resident => Ok(AdmittedMode::Staged),
+        AdmittedMode::Staged => {
+            if is_elementwise(plan) {
+                Ok(AdmittedMode::Chunked { chunks: 2 })
+            } else {
+                Err(LadderStop::NonElementwiseBlocksChunking)
+            }
+        }
         AdmittedMode::Chunked { chunks } => {
             let next = chunks.saturating_mul(2);
-            (next <= MAX_CHUNKS).then_some(AdmittedMode::Chunked { chunks: next })
+            if next <= MAX_CHUNKS {
+                Ok(AdmittedMode::Chunked { chunks: next })
+            } else {
+                Err(LadderStop::MaxChunksExceeded)
+            }
         }
     }
 }
@@ -435,6 +450,35 @@ mod tests {
             "serialized {} must not dip below total {}",
             report.serialized_seconds,
             report.total_seconds
+        );
+    }
+
+    #[test]
+    fn ladder_stops_carry_typed_reasons() {
+        let input = gen::micro_input(16, 37);
+        let elementwise = select_plan(input.schema().clone());
+        assert_eq!(
+            next_rung(AdmittedMode::Resident, &elementwise),
+            Ok(AdmittedMode::Staged)
+        );
+        assert_eq!(
+            next_rung(AdmittedMode::Staged, &elementwise),
+            Ok(AdmittedMode::Chunked { chunks: 2 })
+        );
+        assert_eq!(
+            next_rung(AdmittedMode::Chunked { chunks: MAX_CHUNKS }, &elementwise),
+            Err(LadderStop::MaxChunksExceeded)
+        );
+
+        let (l, r) = gen::join_inputs(16, 2, 0.5, 38);
+        let mut joiny = QueryPlan::new();
+        let x = joiny.add_input("x", l.schema().clone());
+        let y = joiny.add_input("y", r.schema().clone());
+        let j = joiny.add_op(RaOp::Join { key_len: 1 }, &[x, y]).unwrap();
+        joiny.mark_output(j);
+        assert_eq!(
+            next_rung(AdmittedMode::Staged, &joiny),
+            Err(LadderStop::NonElementwiseBlocksChunking)
         );
     }
 

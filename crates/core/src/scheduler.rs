@@ -1,10 +1,10 @@
-//! Multi-query stream scheduling: concurrent plans on one shared device.
+//! Multi-query stream scheduling: concurrent plans on one shared device,
+//! with per-query fault domains and elastic admission waves.
 //!
 //! The paper measures fusion one query at a time; this module is the regime
 //! where those wins compound. [`execute_batch`] takes a batch of independent
-//! queries, admits them for *concurrent* residence ([`crate::admit_batch`]),
-//! and schedules every (possibly fused) step of every query on the shared
-//! device's stream/event model:
+//! queries and schedules every (possibly fused) step of every query on the
+//! shared device's stream/event model:
 //!
 //! * **Stream assignment** — each step of each query gets its own CUDA-style
 //!   stream. Streams are created slot-major (step 0 of every query, then
@@ -21,6 +21,19 @@
 //!   queue), so round-robin issue is what keeps one long query from
 //!   starving the rest; it also means a stalled step can head-of-line
 //!   block its engine, exactly as the paper's hardware would.
+//! * **Fault domains** — each query is its own fault domain. A transient
+//!   injected fault striking a query's phase-1 scratch run or phase-2
+//!   issue is retried with bounded exponential backoff
+//!   ([`crate::RetryPolicy`], backoff charged to the shared clock); budget
+//!   exhaustion or a fatal error *quarantines* that query
+//!   ([`QueryOutcome::Failed`]) and frees its device reservation, instead
+//!   of aborting the batch.
+//! * **Admission waves** — when the sum of resident peaks exceeds free
+//!   device bytes, [`crate::plan_waves`] partitions the batch into
+//!   sequential waves that each fit (first-fit-decreasing over resident
+//!   peaks). Queries too large even for a solo wave run after the waves
+//!   via the [`crate::execute_resilient`] Resident → Staged → Chunked
+//!   ladder and report [`QueryOutcome::Degraded`].
 //!
 //! Per-query computation runs ahead of the replay on a scratch device fork
 //! (the same replay idiom as [`crate::execute_chunked`]): real relations in,
@@ -28,18 +41,26 @@
 //! then sees each step as one `compute_on` span plus real streamed boundary
 //! transfers, so its span log still reconciles ([`kw_gpu_sim::reconcile`])
 //! and its stream graph — not a side formula — produces the batch makespan,
-//! per-query latencies and throughput of [`BatchReport`].
+//! per-query latencies and throughput of [`BatchReport`]. While a wave is
+//! in flight the device holds one reservation buffer per member query,
+//! sized to its predicted resident peak, so the memory tracker sees the
+//! concurrent footprint admission signed off on — and every error path
+//! frees those reservations before moving on.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use kw_gpu_sim::{
-    Device, Direction, EventId, Histogram, SimStats, Span, SpanKind, StreamId, StreamOp,
+    BufferId, Device, Direction, EventId, Histogram, SimStats, Span, SpanKind, StreamId, StreamOp,
 };
 use kw_relational::Relation;
 
-use crate::admission::{admit_batch, BatchAdmission, BatchAdmissionQuery};
+use crate::admission::{
+    plan_waves, AdmittedMode, BatchAdmissionQuery, BatchWavePlan, QueryAdmission,
+};
+use crate::resilient::RetryPolicy;
 use crate::{
-    compile, CompiledPlan, ExecMode, NodeId, PlanNode, QueryPlan, Result, WeaverConfig, WeaverError,
+    compile, CompiledPlan, ExecMode, NodeId, PlanNode, PlanReport, QueryPlan, Result, WeaverConfig,
+    WeaverError,
 };
 
 /// One query of a batch: a plan, its input bindings, and a name for
@@ -54,15 +75,75 @@ pub struct BatchQuery<'a> {
     pub bindings: &'a [(&'a str, &'a Relation)],
 }
 
+/// How one query of a batch ended up: its fault-domain verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// Clean first-try completion inside its admission wave.
+    Completed,
+    /// Completed after one or more transient faults were absorbed by
+    /// retry-with-backoff (in the scratch run, the streamed issue, or a
+    /// ladder attempt).
+    Retried,
+    /// Completed, but not concurrently resident: the query fell down the
+    /// Resident → Staged → Chunked ladder to the given mode.
+    Degraded {
+        /// The mode that finally produced the answer.
+        mode: AdmittedMode,
+    },
+    /// Quarantined: the query did not produce outputs, and the rest of the
+    /// batch ran on without it.
+    Failed {
+        /// The error that exhausted the query's fault domain.
+        reason: String,
+    },
+}
+
+impl QueryOutcome {
+    /// Stable lowercase name used in JSON exports and profile annotations.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryOutcome::Completed => "completed",
+            QueryOutcome::Retried => "retried",
+            QueryOutcome::Degraded { .. } => "degraded",
+            QueryOutcome::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether the query produced its outputs (anything but `Failed`).
+    pub fn is_success(&self) -> bool {
+        !matches!(self, QueryOutcome::Failed { .. })
+    }
+}
+
+impl std::fmt::Display for QueryOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryOutcome::Degraded { mode } => write!(f, "degraded({mode})"),
+            QueryOutcome::Failed { reason } => write!(f, "failed: {reason}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
 /// Per-query results and metrics of a batched execution.
 #[derive(Debug)]
 pub struct BatchQueryReport {
     /// The query's name, as given in [`BatchQuery`].
     pub name: String,
-    /// Relations of the query's marked plan outputs.
+    /// How the query's fault domain resolved.
+    pub outcome: QueryOutcome,
+    /// The admission wave the query ran in (`None` for ladder-tail and
+    /// quarantined queries).
+    pub wave: Option<usize>,
+    /// Transient-fault retries this query absorbed, across phases.
+    pub retries: u32,
+    /// Simulated seconds of retry backoff charged for this query.
+    pub backoff_seconds: f64,
+    /// Relations of the query's marked plan outputs (empty when
+    /// quarantined).
     pub outputs: BTreeMap<NodeId, Relation>,
     /// Seconds from batch start until this query's last scheduled
-    /// operation finished on the shared device.
+    /// operation finished on the shared device (0 when quarantined).
     pub latency_seconds: f64,
     /// GPU computation seconds charged by this query's kernels.
     pub gpu_seconds: f64,
@@ -83,16 +164,23 @@ pub struct BatchReport {
     /// Per-query results, in batch order.
     pub queries: Vec<BatchQueryReport>,
     /// Shared-device makespan of the whole batch, seconds: from batch
-    /// start to the last operation's end on the stream/event graph.
+    /// start to the last operation's end (waves and ladder tail included).
     pub makespan_seconds: f64,
     /// The same scheduled work with no overlap at all — the sum of every
-    /// operation's duration. An upper bound on `makespan_seconds`.
+    /// span's duration in the batch window (streamed ops, ladder work and
+    /// retry backoff alike). An upper bound on `makespan_seconds`.
     pub serialized_seconds: f64,
-    /// Queries completed per second of makespan (0 for an empty batch).
+    /// Submitted queries per second of makespan (0 for an empty batch).
     pub throughput_qps: f64,
-    /// Median per-query latency, from the log-bucketed latency histogram
-    /// (the quantile resolves to its bucket's upper bound, so
-    /// deterministic and byte-stable; 0 for an empty batch).
+    /// *Successful* queries per second of makespan — what the batch
+    /// actually delivered once quarantines are subtracted.
+    pub goodput_qps: f64,
+    /// Number of admission waves that actually issued work.
+    pub waves: usize,
+    /// Median per-query latency over successful queries, from the
+    /// log-bucketed latency histogram (the quantile resolves to its
+    /// bucket's upper bound, so deterministic and byte-stable; 0 for an
+    /// empty batch).
     pub latency_p50_seconds: f64,
     /// 95th-percentile per-query latency (same histogram; an upper bound
     /// on the true p95 within its power-of-two bucket).
@@ -106,10 +194,38 @@ pub struct BatchReport {
     /// copy-compute overlap picture the stream model exists to produce.
     pub engine_utilization: BTreeMap<String, f64>,
     /// Roofline-style bottleneck attribution for the batch, with one
-    /// operator row per query scope (see [`crate::ProfileReport`]).
+    /// operator row per query scope annotated with the query's outcome
+    /// (see [`crate::ProfileReport`]).
     pub profile: crate::ProfileReport,
-    /// The batch admission verdict (per-query peaks, concurrent footprint).
-    pub admission: BatchAdmission,
+    /// The elastic admission verdict: wave packing, ladder routing,
+    /// per-query rejections.
+    pub admission: BatchWavePlan,
+}
+
+impl BatchReport {
+    /// Queries that finished clean on the first try.
+    pub fn completed_count(&self) -> usize {
+        self.count(|o| matches!(o, QueryOutcome::Completed))
+    }
+
+    /// Queries that needed transient-fault retries but completed.
+    pub fn retried_count(&self) -> usize {
+        self.count(|o| matches!(o, QueryOutcome::Retried))
+    }
+
+    /// Queries that completed via a cheaper mode down the ladder.
+    pub fn degraded_count(&self) -> usize {
+        self.count(|o| matches!(o, QueryOutcome::Degraded { .. }))
+    }
+
+    /// Queries quarantined without producing outputs.
+    pub fn quarantined_count(&self) -> usize {
+        self.count(|o| matches!(o, QueryOutcome::Failed { .. }))
+    }
+
+    fn count(&self, pred: impl Fn(&QueryOutcome) -> bool) -> usize {
+        self.queries.iter().filter(|q| pred(&q.outcome)).count()
+    }
 }
 
 /// Per-step compute cost measured on the scratch run: the merged
@@ -149,8 +265,84 @@ fn step_computes(spans: &[Span], steps: usize) -> Vec<StepCompute> {
     out
 }
 
+/// Per-query retry accounting: one fault domain's budget and history.
+///
+/// The budget (`phase_used`) resets between the scratch phase and the
+/// streamed-issue phase — the same "budget per rung" semantics
+/// [`crate::execute_resilient`] applies per ladder rung — while `retries`
+/// and `backoff_seconds` accumulate for the query's report.
+#[derive(Default, Clone)]
+struct RetryCounters {
+    phase_used: u32,
+    retries: u32,
+    backoff_seconds: f64,
+}
+
+impl RetryCounters {
+    fn reset_phase(&mut self) {
+        self.phase_used = 0;
+    }
+
+    /// Absorb one transient fault: charge escalating backoff to the shared
+    /// clock (under a `retry{n}` frame inside the caller's query scope)
+    /// and spend one unit of budget. Returns `false` when the budget is
+    /// exhausted, in which case the fault propagates and quarantines the
+    /// query.
+    fn absorb(&mut self, device: &mut Device, policy: &RetryPolicy) -> bool {
+        if self.phase_used >= policy.max_retries {
+            return false;
+        }
+        let wait =
+            policy.base_backoff_seconds * policy.backoff_multiplier.powi(self.phase_used as i32);
+        device.push_scope(format!("retry{}", self.retries + 1));
+        device.charge_backoff(wait);
+        device.pop_scope();
+        self.backoff_seconds += wait;
+        self.phase_used += 1;
+        self.retries += 1;
+        true
+    }
+}
+
+/// A streamed transfer inside a query's fault domain: transient faults are
+/// absorbed by `counters` until its budget runs out.
+fn transfer_with_retry(
+    device: &mut Device,
+    stream: StreamId,
+    direction: Direction,
+    bytes: u64,
+    policy: &RetryPolicy,
+    counters: &mut RetryCounters,
+) -> Result<f64> {
+    loop {
+        match device.transfer_on(stream, direction, bytes) {
+            Ok(seconds) => return Ok(seconds),
+            Err(e) if e.is_transient() && counters.absorb(device, policy) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// An allocation inside a query's fault domain (wave reservations), with
+/// the same transient-fault absorption as [`transfer_with_retry`].
+fn alloc_with_retry(
+    device: &mut Device,
+    bytes: u64,
+    label: &str,
+    policy: &RetryPolicy,
+    counters: &mut RetryCounters,
+) -> Result<BufferId> {
+    loop {
+        match device.alloc(bytes, label) {
+            Ok(id) => return Ok(id),
+            Err(e) if e.is_transient() && counters.absorb(device, policy) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
 /// Execute a batch of independent queries concurrently on one shared
-/// device.
+/// device, with [`RetryPolicy::default`] fault domains.
 ///
 /// Each query's relational work runs ahead on a scratch device fork (real
 /// data, per-step costs measured), then every step is scheduled on the
@@ -160,17 +352,22 @@ fn step_computes(spans: &[Span], steps: usize) -> Vec<StepCompute> {
 /// byte-identical to solo execution by construction: stream interleaving
 /// decides *when* work runs, never what it computes.
 ///
+/// Faults and capacity misses never abort the batch: each query is its own
+/// fault domain and reports a [`QueryOutcome`]. A batch whose concurrent
+/// footprint exceeds free device bytes is partitioned into sequential
+/// admission waves; queries too large for a solo wave degrade down the
+/// Resident → Staged → Chunked ladder after the waves.
+///
 /// # Errors
 ///
-/// Returns [`WeaverError::Admission`] when the batch's concurrent resident
-/// footprint does not fit the device, and propagates compilation, binding
-/// and device errors (injected faults strike scratch runs and replayed
-/// transfers alike).
+/// Returns compile errors (a malformed plan is a caller bug, not a fault
+/// domain). Everything from admission onward — binding errors, injected
+/// faults, capacity misses — is absorbed into per-query outcomes.
 ///
 /// # Examples
 ///
 /// ```
-/// use kw_core::{execute_batch, BatchQuery, QueryPlan, WeaverConfig};
+/// use kw_core::{execute_batch, BatchQuery, QueryOutcome, QueryPlan, WeaverConfig};
 /// use kw_gpu_sim::{Device, DeviceConfig};
 /// use kw_primitives::RaOp;
 /// use kw_relational::{gen, CmpOp, Predicate, Value};
@@ -192,6 +389,7 @@ fn step_computes(spans: &[Span], steps: usize) -> Vec<StepCompute> {
 /// let mut device = Device::new(DeviceConfig::fermi_c2050());
 /// let batch = execute_batch(&queries, &mut device, &WeaverConfig::default())?;
 /// assert_eq!(batch.queries.len(), 2);
+/// assert!(batch.queries.iter().all(|q| q.outcome == QueryOutcome::Completed));
 /// assert!(batch.makespan_seconds <= batch.serialized_seconds);
 /// # Ok::<(), kw_core::WeaverError>(())
 /// ```
@@ -200,14 +398,34 @@ pub fn execute_batch(
     device: &mut Device,
     config: &WeaverConfig,
 ) -> Result<BatchReport> {
+    execute_batch_with_policy(queries, device, config, &RetryPolicy::default())
+}
+
+/// [`execute_batch`] with an explicit per-query [`RetryPolicy`].
+///
+/// # Errors
+///
+/// Same contract as [`execute_batch`]: only compile errors propagate.
+pub fn execute_batch_with_policy(
+    queries: &[BatchQuery<'_>],
+    device: &mut Device,
+    config: &WeaverConfig,
+    policy: &RetryPolicy,
+) -> Result<BatchReport> {
     let compiled: Vec<CompiledPlan> = queries
         .iter()
         .map(|q| compile(q.plan, config))
         .collect::<Result<_>>()?;
 
-    // Admission: every query stays resident for its whole flight, so the
-    // batch must fit the *sum* of resident peaks — there is no cheaper
-    // rung for a concurrent batch to degrade to.
+    // The batch window opens before phase 1: scratch runs charge nothing
+    // to the shared clock except retry backoff, which belongs inside the
+    // window (the wait delays the streamed work that follows).
+    let batch_start = device.sync_streams();
+    let spans_before = device.spans().len();
+    let ops_before = device.streams().ops().len();
+
+    // Elastic admission: pack wave-sized queries first-fit-decreasing,
+    // route oversized ones to the ladder tail, reject per query.
     let free = device
         .memory()
         .capacity()
@@ -217,208 +435,480 @@ pub fn execute_batch(
         .zip(&compiled)
         .map(|(q, c)| (q.plan, c, q.bindings))
         .collect();
-    let admission = admit_batch(&admission_input, free)?;
+    let admission = plan_waves(&admission_input, free);
 
-    // Phase 1: run every query on a scratch fork (derived fault streams
-    // keep injected faults striking inside query execution) to obtain its
-    // outputs and measured per-step compute costs.
-    let mut scratch_reports = Vec::with_capacity(queries.len());
-    for (q, c) in queries.iter().zip(&compiled) {
-        let mut cfg = *config;
-        cfg.mode = ExecMode::Resident;
-        let mut scratch = device.fork_scratch();
-        let report = crate::execute_compiled(q.plan, c, q.bindings, &mut scratch, &cfg)?;
-        let computes = step_computes(&report.spans, c.steps.len());
-        let peak = scratch.memory().peak();
-        scratch_reports.push((report, computes, peak));
+    let mut wave_of: Vec<Option<usize>> = Vec::with_capacity(queries.len());
+    let mut on_ladder: Vec<bool> = Vec::with_capacity(queries.len());
+    let mut failed: Vec<Option<String>> = Vec::with_capacity(queries.len());
+    for verdict in &admission.per_query {
+        match verdict {
+            QueryAdmission::Wave { wave, .. } => {
+                wave_of.push(Some(*wave));
+                on_ladder.push(false);
+                failed.push(None);
+            }
+            QueryAdmission::Ladder { .. } => {
+                wave_of.push(None);
+                on_ladder.push(true);
+                failed.push(None);
+            }
+            QueryAdmission::Rejected { reason } => {
+                wave_of.push(None);
+                on_ladder.push(false);
+                failed.push(Some(reason.clone()));
+            }
+        }
     }
+    let mut counters: Vec<RetryCounters> = vec![RetryCounters::default(); queries.len()];
+    let mut degraded: Vec<Option<AdmittedMode>> = vec![None; queries.len()];
 
-    // Phase 2: schedule the batch on the shared device. Streams are
-    // created slot-major so the engine round-robin spreads queries first.
-    let batch_start = device.sync_streams();
-    let ops_before = device.streams().ops().len();
-    let max_steps = compiled.iter().map(|c| c.steps.len()).max().unwrap_or(0);
-    let mut step_streams: Vec<Vec<StreamId>> = queries.iter().map(|_| Vec::new()).collect();
-    for slot in 0..max_steps {
-        for (qi, c) in compiled.iter().enumerate() {
-            if slot < c.steps.len() {
-                step_streams[qi].push(device.create_stream());
+    // Phase 1: run every wave query on a scratch fork (derived fault
+    // streams keep injected faults striking inside query execution) to
+    // obtain its outputs and measured per-step compute costs. Each query
+    // is a fault domain: transients retry with backoff, a capacity miss
+    // re-routes the query to the ladder tail, anything else quarantines it.
+    let mut scratch: Vec<Option<(PlanReport, Vec<StepCompute>, u64)>> =
+        (0..queries.len()).map(|_| None).collect();
+    for (qi, q) in queries.iter().enumerate() {
+        if wave_of[qi].is_none() || failed[qi].is_some() {
+            continue;
+        }
+        loop {
+            let mut cfg = *config;
+            cfg.mode = ExecMode::Resident;
+            let mut fork = device.fork_scratch();
+            match crate::execute_compiled(q.plan, &compiled[qi], q.bindings, &mut fork, &cfg) {
+                Ok(report) => {
+                    let computes = step_computes(&report.spans, compiled[qi].steps.len());
+                    let peak = fork.memory().peak();
+                    scratch[qi] = Some((report, computes, peak));
+                    break;
+                }
+                Err(e) if e.is_transient() => {
+                    device.push_scope(format!("q{qi}:{}", q.name));
+                    let absorbed = counters[qi].absorb(device, policy);
+                    device.pop_scope();
+                    if !absorbed {
+                        failed[qi] = Some(e.to_string());
+                        wave_of[qi] = None;
+                        break;
+                    }
+                }
+                Err(e) if e.is_capacity() => {
+                    // Admission over-estimated the free headroom (or the
+                    // estimate under-shot the real footprint): fall out of
+                    // the wave and take the ladder after the batch.
+                    let _ = e;
+                    wave_of[qi] = None;
+                    on_ladder[qi] = true;
+                    break;
+                }
+                Err(e) => {
+                    failed[qi] = Some(e.to_string());
+                    wave_of[qi] = None;
+                    break;
+                }
             }
         }
     }
 
-    // Per-query issue state.
-    struct QState {
-        /// `node -> producing step index` for intermediate results.
-        producer: BTreeMap<NodeId, usize>,
-        /// Upload event per base relation; `None` for zero-byte uploads
-        /// (skipped outright, nothing to wait for).
-        uploaded: BTreeMap<NodeId, Option<(StreamId, EventId)>>,
-        /// Completion event per issued step.
-        step_done: Vec<Option<EventId>>,
-        pcie_seconds: f64,
-    }
-    let mut states: Vec<QState> = compiled
-        .iter()
-        .map(|c| {
-            let mut producer = BTreeMap::new();
-            for (i, step) in c.steps.iter().enumerate() {
-                for &o in &step.outputs {
-                    producer.insert(o, i);
-                }
-            }
-            QState {
-                producer,
-                uploaded: BTreeMap::new(),
-                step_done: vec![None; c.steps.len()],
-                pcie_seconds: 0.0,
-            }
-        })
-        .collect();
+    // Phase 2: schedule each wave on the shared device. Streams are
+    // created slot-major so the engine round-robin spreads queries first.
+    let mut step_streams: Vec<Vec<StreamId>> = queries.iter().map(|_| Vec::new()).collect();
+    let mut waves_issued = 0usize;
+    for (wi, wave) in admission.waves.iter().enumerate() {
+        let members: Vec<usize> = wave
+            .iter()
+            .copied()
+            .filter(|&qi| wave_of[qi] == Some(wi) && failed[qi].is_none() && scratch[qi].is_some())
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        waves_issued += 1;
 
-    for slot in 0..max_steps {
-        for (qi, q) in queries.iter().enumerate() {
-            let Some(step) = compiled[qi].steps.get(slot) else {
-                continue;
+        // Reserve each member's predicted resident peak for the wave's
+        // flight, so the shared memory tracker sees the concurrent
+        // footprint admission signed off on. A reservation that cannot be
+        // allocated (past retries) quarantines only its query.
+        let mut reservations: BTreeMap<usize, BufferId> = BTreeMap::new();
+        for &qi in &members {
+            counters[qi].reset_phase();
+            let peak = match &admission.per_query[qi] {
+                QueryAdmission::Wave { report, .. } => report.resident_peak,
+                _ => unreachable!("wave members are wave-admitted"),
             };
-            let stream = step_streams[qi][slot];
-            let state = &mut states[qi];
-            let (report, computes, _) = &scratch_reports[qi];
-
-            // Every span this step emits carries the query's identity, so
-            // a batch trace shows which query each overlapped op belongs to.
-            device.push_scope(format!("q{qi}:{}", q.name));
-            let issued = (|device: &mut Device| -> Result<()> {
-                // Upload base relations on their first consumer's stream.
-                // Zero-byte relations are skipped outright (no fabricated
-                // per-transfer latency), mirroring chunked execution.
-                for &node in &step.inputs {
-                    if !matches!(q.plan.node(node), PlanNode::Input { .. })
-                        || state.uploaded.contains_key(&node)
-                    {
-                        continue;
-                    }
-                    let name = match q.plan.node(node) {
-                        PlanNode::Input { name, .. } => name,
-                        PlanNode::Operator { .. } => unreachable!("checked above"),
-                    };
-                    let bytes = q
-                        .bindings
-                        .iter()
-                        .find(|(n, _)| n == name)
-                        .map(|(_, r)| r.byte_size() as u64)
-                        .ok_or_else(|| {
-                            WeaverError::binding(format!("no relation bound to '{name}'"))
-                        })?;
-                    let ev = if bytes > 0 {
-                        state.pcie_seconds +=
-                            device.transfer_on(stream, Direction::HostToDevice, bytes)?;
-                        Some((stream, device.record_event(stream)?))
-                    } else {
-                        None
-                    };
-                    state.uploaded.insert(node, ev);
+            if peak == 0 {
+                continue;
+            }
+            device.push_scope(format!("q{qi}:{}", queries[qi].name));
+            let got = alloc_with_retry(
+                device,
+                peak,
+                &format!("q{qi}.workingset"),
+                policy,
+                &mut counters[qi],
+            );
+            device.pop_scope();
+            match got {
+                Ok(buf) => {
+                    reservations.insert(qi, buf);
                 }
+                Err(e) => failed[qi] = Some(e.to_string()),
+            }
+        }
 
-                // Dependence edges: producing steps and cross-stream
-                // uploads must complete before this step's kernels run.
-                // Same-stream uploads are already ordered by stream FIFO.
-                for &node in &step.inputs {
-                    if let Some(&p) = state.producer.get(&node) {
-                        let ev = state.step_done[p].ok_or_else(|| {
-                            WeaverError::plan(format!(
-                                "step input {node} scheduled before its producer"
-                            ))
-                        })?;
-                        device.wait_event(stream, ev)?;
-                    } else if let Some(&Some((src, ev))) = state.uploaded.get(&node) {
-                        if src != stream {
+        let alive: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&qi| failed[qi].is_none())
+            .collect();
+        let max_steps = alive
+            .iter()
+            .map(|&qi| compiled[qi].steps.len())
+            .max()
+            .unwrap_or(0);
+        for slot in 0..max_steps {
+            for &qi in &alive {
+                if slot < compiled[qi].steps.len() {
+                    step_streams[qi].push(device.create_stream());
+                }
+            }
+        }
+
+        // Per-query issue state for this wave.
+        struct QState {
+            /// `node -> producing step index` for intermediate results.
+            producer: BTreeMap<NodeId, usize>,
+            /// Upload event per base relation; `None` for zero-byte uploads
+            /// (skipped outright, nothing to wait for).
+            uploaded: BTreeMap<NodeId, Option<(StreamId, EventId)>>,
+            /// Completion event per issued step.
+            step_done: Vec<Option<EventId>>,
+            pcie_seconds: f64,
+        }
+        let mut states: BTreeMap<usize, QState> = alive
+            .iter()
+            .map(|&qi| {
+                let c = &compiled[qi];
+                let mut producer = BTreeMap::new();
+                for (i, step) in c.steps.iter().enumerate() {
+                    for &o in &step.outputs {
+                        producer.insert(o, i);
+                    }
+                }
+                (
+                    qi,
+                    QState {
+                        producer,
+                        uploaded: BTreeMap::new(),
+                        step_done: vec![None; c.steps.len()],
+                        pcie_seconds: 0.0,
+                    },
+                )
+            })
+            .collect();
+
+        for slot in 0..max_steps {
+            for &qi in &alive {
+                if failed[qi].is_some() {
+                    continue; // quarantined mid-wave: skip its later slots
+                }
+                let q = &queries[qi];
+                let Some(step) = compiled[qi].steps.get(slot) else {
+                    continue;
+                };
+                let stream = step_streams[qi][slot];
+                let state = states.get_mut(&qi).expect("alive queries have state");
+                let (report, computes, _) = scratch[qi].as_ref().expect("alive queries ran ahead");
+                let budget = &mut counters[qi];
+
+                // Every span this step emits carries the query's identity,
+                // so a batch trace shows which query each overlapped op
+                // belongs to.
+                device.push_scope(format!("q{qi}:{}", q.name));
+                let issued = (|device: &mut Device| -> Result<()> {
+                    // Upload base relations on their first consumer's
+                    // stream. Zero-byte relations are skipped outright (no
+                    // fabricated per-transfer latency), mirroring chunked
+                    // execution.
+                    for &node in &step.inputs {
+                        if !matches!(q.plan.node(node), PlanNode::Input { .. })
+                            || state.uploaded.contains_key(&node)
+                        {
+                            continue;
+                        }
+                        let name = match q.plan.node(node) {
+                            PlanNode::Input { name, .. } => name,
+                            PlanNode::Operator { .. } => unreachable!("checked above"),
+                        };
+                        let bytes = q
+                            .bindings
+                            .iter()
+                            .find(|(n, _)| n == name)
+                            .map(|(_, r)| r.byte_size() as u64)
+                            .ok_or_else(|| {
+                                WeaverError::binding(format!("no relation bound to '{name}'"))
+                            })?;
+                        let ev = if bytes > 0 {
+                            state.pcie_seconds += transfer_with_retry(
+                                device,
+                                stream,
+                                Direction::HostToDevice,
+                                bytes,
+                                policy,
+                                budget,
+                            )?;
+                            Some((stream, device.record_event(stream)?))
+                        } else {
+                            None
+                        };
+                        state.uploaded.insert(node, ev);
+                    }
+
+                    // Dependence edges: producing steps and cross-stream
+                    // uploads must complete before this step's kernels run.
+                    // Same-stream uploads are already ordered by stream FIFO.
+                    for &node in &step.inputs {
+                        if let Some(&p) = state.producer.get(&node) {
+                            let ev = state.step_done[p].ok_or_else(|| {
+                                WeaverError::plan(format!(
+                                    "step input {node} scheduled before its producer"
+                                ))
+                            })?;
                             device.wait_event(stream, ev)?;
+                        } else if let Some(&Some((src, ev))) = state.uploaded.get(&node) {
+                            if src != stream {
+                                device.wait_event(stream, ev)?;
+                            }
                         }
                     }
-                }
 
-                let compute = &computes[slot];
-                device.compute_on(
-                    stream,
-                    step.op.label.clone(),
-                    &compute.delta,
-                    compute.cycles,
-                )?;
+                    let compute = &computes[slot];
+                    device.compute_on(
+                        stream,
+                        step.op.label.clone(),
+                        &compute.delta,
+                        compute.cycles,
+                    )?;
 
-                // Marked plan outputs return to the host as soon as their
-                // producing step finishes; the download then overlaps
-                // whatever the engines run next.
-                for &node in &step.outputs {
-                    if !q.plan.outputs().contains(&node) {
-                        continue;
+                    // Marked plan outputs return to the host as soon as
+                    // their producing step finishes; the download then
+                    // overlaps whatever the engines run next.
+                    for &node in &step.outputs {
+                        if !q.plan.outputs().contains(&node) {
+                            continue;
+                        }
+                        let bytes = report.outputs[&node].byte_size() as u64;
+                        if bytes > 0 {
+                            state.pcie_seconds += transfer_with_retry(
+                                device,
+                                stream,
+                                Direction::DeviceToHost,
+                                bytes,
+                                policy,
+                                budget,
+                            )?;
+                        }
                     }
-                    let bytes = report.outputs[&node].byte_size() as u64;
-                    if bytes > 0 {
-                        state.pcie_seconds +=
-                            device.transfer_on(stream, Direction::DeviceToHost, bytes)?;
+                    state.step_done[slot] = Some(device.record_event(stream)?);
+                    Ok(())
+                })(device);
+                device.pop_scope();
+                if let Err(e) = issued {
+                    // Quarantine this query only: drain in-flight work so
+                    // the clock settles, free the query's reservation so
+                    // nothing stays resident on its behalf, and let the
+                    // rest of the wave keep issuing.
+                    device.sync_streams();
+                    if let Some(buf) = reservations.remove(&qi) {
+                        let _ = device.free(buf);
                     }
+                    failed[qi] = Some(e.to_string());
                 }
-                state.step_done[slot] = Some(device.record_event(stream)?);
-                Ok(())
-            })(device);
-            device.pop_scope();
-            if let Err(e) = issued {
-                // Drain in-flight work so a retry starts from a settled
-                // clock, exactly like the chunked replay's error path.
+            }
+        }
+
+        // Wave barrier: the next wave's reservations replace this one's,
+        // so its streamed work must be fully drained and freed first.
+        device.sync_streams();
+        for (_, buf) in reservations {
+            device.free(buf)?;
+        }
+    }
+
+    // Ladder tail: queries too large for a solo wave (or whose scratch run
+    // hit a capacity miss) run one at a time through the resilient
+    // Resident → Staged → Chunked driver on the now-empty shared device.
+    let mut ladder_done: Vec<Option<(PlanReport, u64, f64, u64)>> =
+        (0..queries.len()).map(|_| None).collect();
+    for (qi, q) in queries.iter().enumerate() {
+        if !on_ladder[qi] || failed[qi].is_some() {
+            continue;
+        }
+        let gpu_before = device.stats().gpu_cycles;
+        let pcie_before = device.stats().pcie_seconds;
+        device.push_scope(format!("q{qi}:{}", q.name));
+        let result = crate::execute_compiled_resilient(
+            q.plan,
+            &compiled[qi],
+            q.bindings,
+            device,
+            config,
+            policy,
+        );
+        device.pop_scope();
+        match result {
+            Ok(report) => {
+                let res = report
+                    .resilience
+                    .as_ref()
+                    .expect("resilient runs carry a resilience report");
+                counters[qi].retries += res.retries;
+                counters[qi].backoff_seconds += res.backoff_seconds;
+                if res.final_mode != AdmittedMode::Resident {
+                    degraded[qi] = Some(res.final_mode);
+                }
+                let gpu_cycles = device.stats().gpu_cycles - gpu_before;
+                let pcie = device.stats().pcie_seconds - pcie_before;
+                let last_end = device.makespan();
+                ladder_done[qi] = Some((report, gpu_cycles, pcie, last_end));
+            }
+            Err(e) => {
+                // The executor's cleanup guards already freed the attempt's
+                // buffers; settle the clock and quarantine.
                 device.sync_streams();
-                return Err(e);
+                failed[qi] = Some(e.to_string());
             }
         }
     }
 
-    // Read the batch off the stream graph: makespan from the unified
-    // cycle clock, per-query latency from each query's last operation,
-    // serialized cost as the overlap-free sum of every op's duration.
+    // Read the batch off the stream graph: makespan from the unified cycle
+    // clock, per-query latency from each query's last operation, serialized
+    // cost as the overlap-free sum of every span's duration in the window
+    // (streamed ops, ladder work and backoff alike — so `serialized >=
+    // makespan` survives retried batches).
     let end_cycles = device.sync_streams();
     let makespan_cycles = end_cycles - batch_start;
     let makespan_seconds = device.config().cycles_to_seconds(makespan_cycles);
+    let serialized_cycles: u64 = device.spans()[spans_before..]
+        .iter()
+        .map(|s| s.end_cycle - s.start_cycle)
+        .sum();
+    let serialized_seconds = device.config().cycles_to_seconds(serialized_cycles);
     // Copy the batch window's ops out of the device so metrics publication
     // below can borrow it mutably.
     let batch_ops: Vec<StreamOp> = device.streams().ops()[ops_before..].to_vec();
-    let serialized_cycles: u64 = batch_ops.iter().map(|op| op.duration()).sum();
-    let serialized_seconds = device.config().cycles_to_seconds(serialized_cycles);
 
     let mut reports = Vec::with_capacity(queries.len());
     let mut latency_hist = Histogram::default();
     for (qi, q) in queries.iter().enumerate() {
-        let streams: BTreeSet<StreamId> = step_streams[qi].iter().copied().collect();
-        let last_end = batch_ops
-            .iter()
-            .filter(|op| streams.contains(&op.stream))
-            .map(|op| op.end_cycle)
-            .max()
-            .unwrap_or(batch_start);
-        let (report, computes, peak) = &scratch_reports[qi];
-        let gpu_cycles: u64 = computes.iter().map(|c| c.cycles).sum();
-        let latency_cycles = last_end - batch_start;
-        latency_hist.observe(latency_cycles);
-        device
-            .metrics_mut()
-            .observe("kw_batch_query_latency_cycles", latency_cycles);
+        let outcome = if let Some(reason) = failed[qi].take() {
+            QueryOutcome::Failed { reason }
+        } else if let Some(mode) = degraded[qi] {
+            QueryOutcome::Degraded { mode }
+        } else if counters[qi].retries > 0 {
+            QueryOutcome::Retried
+        } else {
+            QueryOutcome::Completed
+        };
+
+        let (outputs, latency_cycles, gpu_cycles, pcie_seconds, peak) =
+            if let Some((report, computes, peak)) = &scratch[qi] {
+                if outcome.is_success() {
+                    let streams: BTreeSet<StreamId> = step_streams[qi].iter().copied().collect();
+                    let last_end = batch_ops
+                        .iter()
+                        .filter(|op| streams.contains(&op.stream))
+                        .map(|op| op.end_cycle)
+                        .max()
+                        .unwrap_or(batch_start);
+                    let gpu: u64 = computes.iter().map(|c| c.cycles).sum();
+                    // PCIe seconds were accumulated per wave-local state; they
+                    // equal the sum of this query's streamed transfer spans.
+                    let pcie: f64 = device.spans()[spans_before..]
+                        .iter()
+                        .filter(|s| s.kind == SpanKind::Transfer)
+                        .filter(|s| {
+                            s.provenance
+                                .split('/')
+                                .next()
+                                .is_some_and(|f| f == format!("q{qi}:{}", q.name))
+                        })
+                        .map(|s| s.delta.pcie_seconds)
+                        .sum();
+                    (
+                        report.outputs.clone(),
+                        last_end.max(batch_start) - batch_start,
+                        gpu,
+                        pcie,
+                        *peak,
+                    )
+                } else {
+                    (BTreeMap::new(), 0, 0, 0.0, *peak)
+                }
+            } else if let Some((report, gpu_cycles, pcie, last_end)) = &ladder_done[qi] {
+                (
+                    report.outputs.clone(),
+                    last_end.max(&batch_start) - batch_start,
+                    *gpu_cycles,
+                    *pcie,
+                    report.peak_device_bytes,
+                )
+            } else {
+                (BTreeMap::new(), 0, 0, 0.0, 0)
+            };
+
+        if outcome.is_success() {
+            latency_hist.observe(latency_cycles);
+            device
+                .metrics_mut()
+                .observe("kw_batch_query_latency_cycles", latency_cycles);
+        }
         reports.push(BatchQueryReport {
             name: q.name.to_string(),
-            outputs: report.outputs.clone(),
+            wave: if outcome.is_success() {
+                wave_of[qi]
+            } else {
+                None
+            },
+            retries: counters[qi].retries,
+            backoff_seconds: counters[qi].backoff_seconds,
+            outputs,
             latency_seconds: device.config().cycles_to_seconds(latency_cycles),
             gpu_seconds: device.config().cycles_to_seconds(gpu_cycles),
-            pcie_seconds: states[qi].pcie_seconds,
+            pcie_seconds,
             operator_count: compiled[qi].steps.len(),
             fusion_sets: compiled[qi].fusion_sets.clone(),
-            peak_device_bytes: *peak,
+            peak_device_bytes: peak,
+            outcome,
         });
     }
-    device.metrics_mut().inc("kw_batches_total", 1);
-    device
-        .metrics_mut()
-        .inc("kw_batch_queries_total", queries.len() as u64);
+
+    let successes = reports.iter().filter(|r| r.outcome.is_success()).count();
+    let total_retries: u64 = reports.iter().map(|r| u64::from(r.retries)).sum();
+    let quarantines = (reports.len() - successes) as u64;
+    let degradations = reports
+        .iter()
+        .filter(|r| matches!(r.outcome, QueryOutcome::Degraded { .. }))
+        .count() as u64;
+    {
+        let m = device.metrics_mut();
+        m.inc("kw_batches_total", 1);
+        m.inc("kw_batch_queries_total", queries.len() as u64);
+        m.inc("kw_batch_waves_total", waves_issued as u64);
+        m.inc("kw_batch_retries_total", total_retries);
+        m.inc("kw_batch_quarantines_total", quarantines);
+        m.inc("kw_batch_degradations_total", degradations);
+    }
 
     let throughput_qps = if makespan_seconds > 0.0 {
         queries.len() as f64 / makespan_seconds
+    } else {
+        0.0
+    };
+    let goodput_qps = if makespan_seconds > 0.0 {
+        successes as f64 / makespan_seconds
     } else {
         0.0
     };
@@ -445,18 +935,31 @@ pub fn execute_batch(
         })
         .collect();
 
-    let profile = crate::ProfileReport::from_spans(
+    let mut profile = crate::ProfileReport::from_spans(
         device.spans(),
         device.stats(),
         device.config(),
         device.config().cycles_to_seconds(end_cycles),
     );
+    let outcome_labels: Vec<(String, String)> = queries
+        .iter()
+        .enumerate()
+        .map(|(qi, q)| {
+            (
+                format!("q{qi}:{}", q.name),
+                reports[qi].outcome.name().to_string(),
+            )
+        })
+        .collect();
+    profile.annotate_outcomes(&outcome_labels);
 
     Ok(BatchReport {
         queries: reports,
         makespan_seconds,
         serialized_seconds,
         throughput_qps,
+        goodput_qps,
+        waves: waves_issued,
         latency_p50_seconds: device
             .config()
             .cycles_to_seconds(latency_hist.quantile(0.50)),
@@ -477,7 +980,7 @@ pub fn execute_batch(
 mod tests {
     use super::*;
     use crate::execute_plan;
-    use kw_gpu_sim::DeviceConfig;
+    use kw_gpu_sim::{DeviceConfig, FaultConfig, FaultKind, ScriptedFault};
     use kw_primitives::RaOp;
     use kw_relational::{gen, CmpOp, Predicate, Value};
 
@@ -525,11 +1028,14 @@ mod tests {
         let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
 
         for (q, r) in queries.iter().zip(&batch.queries) {
+            assert_eq!(r.outcome, QueryOutcome::Completed);
             let mut solo_dev = device();
             let solo =
                 execute_plan(q.plan, q.bindings, &mut solo_dev, &WeaverConfig::default()).unwrap();
             assert_eq!(r.outputs, solo.outputs, "{}", r.name);
         }
+        assert_eq!(batch.waves, 1, "both queries fit one wave on the C2050");
+        assert_eq!(dev.memory().in_use(), 0, "reservations must be freed");
     }
 
     #[test]
@@ -574,6 +1080,7 @@ mod tests {
         assert!(batch.makespan_seconds >= floor - 1e-15);
         assert!(batch.makespan_seconds <= batch.serialized_seconds + 1e-15);
         assert!(batch.throughput_qps > 0.0);
+        assert_eq!(batch.goodput_qps, batch.throughput_qps, "no quarantines");
         // Latencies end inside the batch window.
         for r in &batch.queries {
             assert!(r.latency_seconds > 0.0);
@@ -599,19 +1106,32 @@ mod tests {
             },
         ];
         let mut dev = device();
-        execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
+        let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
         kw_gpu_sim::reconcile(dev.spans(), dev.stats()).unwrap();
         let provs: Vec<&str> = dev.spans().iter().map(|s| s.provenance.as_str()).collect();
         assert!(provs.iter().any(|p| p.starts_with("q0:alpha")), "{provs:?}");
         assert!(provs.iter().any(|p| p.starts_with("q1:beta")), "{provs:?}");
+        // Outcomes are folded into the profile's per-query rows.
+        let annotated: Vec<_> = batch
+            .profile
+            .operators
+            .iter()
+            .filter(|op| op.outcome.is_some())
+            .collect();
+        assert_eq!(annotated.len(), 2, "{:?}", batch.profile.operators);
+        assert!(annotated
+            .iter()
+            .all(|op| op.outcome.as_deref() == Some("completed")));
     }
 
     #[test]
-    fn oversubscribed_batch_is_rejected_at_admission() {
-        let input = gen::micro_input(200_000, 46);
+    fn oversubscribed_batch_runs_in_sequential_waves() {
+        // 8 queries whose summed resident peaks blow past the tiny device:
+        // the old scheduler rejected this batch outright; waves absorb it.
+        let input = gen::micro_input(20_000, 46);
         let plan = chain(input.schema().clone(), 2);
         let bindings = [("t", &input)];
-        let queries: Vec<BatchQuery<'_>> = (0..64)
+        let queries: Vec<BatchQuery<'_>> = (0..8)
             .map(|_| BatchQuery {
                 name: "q",
                 plan: &plan,
@@ -619,8 +1139,138 @@ mod tests {
             })
             .collect();
         let mut dev = Device::new(DeviceConfig::tiny());
-        let err = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap_err();
-        assert!(matches!(err, WeaverError::Admission { .. }), "{err}");
+        let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
+        assert!(
+            batch.waves >= 2,
+            "expected multiple waves, got {}",
+            batch.waves
+        );
+        assert_eq!(batch.quarantined_count(), 0);
+
+        let mut solo_dev = device();
+        let solo = execute_plan(&plan, &bindings, &mut solo_dev, &WeaverConfig::default()).unwrap();
+        for r in &batch.queries {
+            assert_eq!(r.outcome, QueryOutcome::Completed);
+            assert!(r.wave.is_some());
+            assert_eq!(r.outputs, solo.outputs);
+        }
+        assert_eq!(dev.memory().in_use(), 0);
+        kw_gpu_sim::reconcile(dev.spans(), dev.stats()).unwrap();
+    }
+
+    #[test]
+    fn oversized_query_degrades_down_the_ladder() {
+        // One whale that cannot fit resident even alone rides the ladder
+        // tail and still answers; the small query stays in a wave.
+        let whale_in = gen::micro_input(120_000, 47);
+        let small_in = gen::micro_input(5_000, 48);
+        let whale_plan = chain(whale_in.schema().clone(), 2);
+        let small_plan = chain(small_in.schema().clone(), 2);
+        let bw = [("t", &whale_in)];
+        let bs = [("t", &small_in)];
+        let queries = [
+            BatchQuery {
+                name: "whale",
+                plan: &whale_plan,
+                bindings: &bw,
+            },
+            BatchQuery {
+                name: "small",
+                plan: &small_plan,
+                bindings: &bs,
+            },
+        ];
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
+
+        let whale = &batch.queries[0];
+        assert!(
+            matches!(whale.outcome, QueryOutcome::Degraded { .. }),
+            "{:?}",
+            whale.outcome
+        );
+        assert_eq!(whale.wave, None);
+        let mut solo_dev = device();
+        let solo = execute_plan(&whale_plan, &bw, &mut solo_dev, &WeaverConfig::default()).unwrap();
+        assert_eq!(whale.outputs, solo.outputs);
+
+        let small = &batch.queries[1];
+        assert_eq!(small.outcome, QueryOutcome::Completed);
+        assert!(small.wave.is_some());
+        assert_eq!(dev.memory().in_use(), 0);
+        kw_gpu_sim::reconcile(dev.spans(), dev.stats()).unwrap();
+    }
+
+    #[test]
+    fn faulted_query_is_quarantined_not_the_batch() {
+        // Query 1 has no binding for its input: a deterministic fatal error
+        // in its fault domain. The batch must complete around it.
+        let a = gen::micro_input(20_000, 49);
+        let plan = chain(a.schema().clone(), 2);
+        let good = [("t", &a)];
+        let bad = [("wrong", &a)];
+        let queries = [
+            BatchQuery {
+                name: "good",
+                plan: &plan,
+                bindings: &good,
+            },
+            BatchQuery {
+                name: "bad",
+                plan: &plan,
+                bindings: &bad,
+            },
+        ];
+        let mut dev = device();
+        let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
+        assert_eq!(batch.queries[0].outcome, QueryOutcome::Completed);
+        assert!(
+            matches!(batch.queries[1].outcome, QueryOutcome::Failed { .. }),
+            "{:?}",
+            batch.queries[1].outcome
+        );
+        assert!(batch.queries[1].outputs.is_empty());
+        assert_eq!(batch.quarantined_count(), 1);
+        assert!(batch.goodput_qps < batch.throughput_qps);
+        assert_eq!(dev.memory().in_use(), 0);
+        assert_eq!(dev.metrics().counter("kw_batch_quarantines_total"), 1);
+    }
+
+    #[test]
+    fn scripted_transient_fault_is_retried_with_backoff() {
+        let a = gen::micro_input(20_000, 50);
+        let plan = chain(a.schema().clone(), 2);
+        let bindings = [("t", &a)];
+        let queries = [BatchQuery {
+            name: "q",
+            plan: &plan,
+            bindings: &bindings,
+        }];
+        let mut dev = device();
+        // Attempt 0 of the parent device's transfer stream is the first
+        // phase-2 upload; the scratch fork uses a derived stream.
+        dev.inject_faults(FaultConfig::scripted(vec![ScriptedFault {
+            kind: FaultKind::Transfer,
+            attempt: 0,
+        }]));
+        let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
+        let q = &batch.queries[0];
+        assert_eq!(q.outcome, QueryOutcome::Retried, "{:?}", q.outcome);
+        assert!(q.retries >= 1);
+        assert!(q.backoff_seconds > 0.0);
+        assert!(dev.stats().backoff_seconds > 0.0);
+
+        let mut clean_dev = device();
+        let clean = execute_batch(&queries, &mut clean_dev, &WeaverConfig::default()).unwrap();
+        assert_eq!(q.outputs, clean.queries[0].outputs);
+        assert!(
+            batch.serialized_seconds >= batch.makespan_seconds - 1e-15,
+            "serialized {} must not dip below makespan {}",
+            batch.serialized_seconds,
+            batch.makespan_seconds
+        );
+        assert_eq!(dev.memory().in_use(), 0);
+        kw_gpu_sim::reconcile(dev.spans(), dev.stats()).unwrap();
     }
 
     #[test]
@@ -630,6 +1280,8 @@ mod tests {
         assert!(batch.queries.is_empty());
         assert_eq!(batch.makespan_seconds, 0.0);
         assert_eq!(batch.throughput_qps, 0.0);
+        assert_eq!(batch.goodput_qps, 0.0);
+        assert_eq!(batch.waves, 0);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! CI gate for fault-isolated batch execution.
+//!
+//! Two halves, both of which exit non-zero on failure so CI can gate on
+//! this example:
+//!
+//! 1. **Taxonomy demo** — a seeded four-query batch on a tiny device with
+//!    one scripted transient fault, one unbound binding and one whale that
+//!    cannot fit a solo wave. The batch must complete with per-query
+//!    outcomes covering the whole taxonomy (Completed / Retried /
+//!    Degraded / Failed) — no all-or-nothing abort — with every survivor's
+//!    outputs byte-identical to the fault-free run, the trace reconciled
+//!    and no device memory leaked.
+//! 2. **Bench JSON schema check** — re-parses
+//!    `bench_results/BENCH_batch_resilience.json` (hand-rolled JSON, so a
+//!    writer bug shows up as a syntax error here), verifies the keys the
+//!    regression gate consumes, and checks each row's outcome taxonomy
+//!    sums to its query count.
+//!
+//! ```bash
+//! cargo run -p kw-examples --example batch_resilience [path/to/file.json]
+//! ```
+
+use kw_core::{execute_batch, BatchQuery, QueryOutcome, QueryPlan, WeaverConfig};
+use kw_gpu_sim::{
+    parse_json, validate_json, Device, DeviceConfig, FaultConfig, FaultKind, JsonValue,
+    ScriptedFault,
+};
+use kw_primitives::RaOp;
+use kw_relational::{gen, CmpOp, Predicate, Relation, Value};
+
+/// Keys the bench_regression gate and EXPERIMENTS.md consume.
+const REQUIRED_KEYS: [&str; 11] = [
+    "\"experiment\"",
+    "\"rows\"",
+    "\"fault_rate\"",
+    "\"waves\"",
+    "\"completed\"",
+    "\"retried\"",
+    "\"degraded\"",
+    "\"quarantined\"",
+    "\"goodput_qps\"",
+    "\"makespan_seconds\"",
+    "\"latency_p99_seconds\"",
+];
+
+/// A SELECT chain of `depth` steps over a 4-attribute u32 input.
+fn chain(input: &Relation, depth: usize) -> QueryPlan {
+    let mut plan = QueryPlan::new();
+    let mut cur = plan.add_input("t", input.schema().clone());
+    for a in 0..depth {
+        cur = plan
+            .add_op(
+                RaOp::Select {
+                    pred: Predicate::cmp(a % 4, CmpOp::Lt, Value::U32(u32::MAX / 2)),
+                },
+                &[cur],
+            )
+            .expect("chain type-checks");
+    }
+    plan.mark_output(cur);
+    plan
+}
+
+fn outcome_label(o: &QueryOutcome) -> String {
+    format!("{o}")
+}
+
+/// Run the seeded demo batch; returns the number of failures.
+fn taxonomy_demo() -> u32 {
+    let mut failures = 0;
+    let small_a = gen::micro_input(20_000, 61);
+    let small_b = gen::micro_input(20_000, 62);
+    let whale_in = gen::micro_input(120_000, 63);
+    let plan_a = chain(&small_a, 2);
+    let plan_b = chain(&small_b, 3);
+    let whale_plan = chain(&whale_in, 2);
+    let (ba, bb, bw) = ([("t", &small_a)], [("t", &small_b)], [("t", &whale_in)]);
+    let bad = [("wrong_name", &small_b)];
+    let queries = [
+        BatchQuery {
+            name: "struck",
+            plan: &plan_a,
+            bindings: &ba,
+        },
+        BatchQuery {
+            name: "steady",
+            plan: &plan_b,
+            bindings: &bb,
+        },
+        BatchQuery {
+            name: "whale",
+            plan: &whale_plan,
+            bindings: &bw,
+        },
+        BatchQuery {
+            name: "unbound",
+            plan: &plan_b,
+            bindings: &bad,
+        },
+    ];
+
+    // Fault-free reference on an identical device.
+    let mut clean_dev = Device::new(DeviceConfig::tiny());
+    let clean = execute_batch(&queries, &mut clean_dev, &WeaverConfig::default())
+        .expect("batches never abort wholesale");
+
+    // Faulted run: one scripted transient fault on the first shared-device
+    // transfer — the first wave upload — plus the structural faults above.
+    let mut dev = Device::new(DeviceConfig::tiny());
+    dev.inject_faults(FaultConfig::scripted(vec![ScriptedFault {
+        kind: FaultKind::Transfer,
+        attempt: 0,
+    }]));
+    let batch = match execute_batch(&queries, &mut dev, &WeaverConfig::default()) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("INVALID: faulted batch aborted wholesale: {e}");
+            return 1;
+        }
+    };
+
+    println!("Seeded batch on DeviceConfig::tiny() with one scripted transfer fault:");
+    println!("  waves issued: {}", batch.waves);
+    for q in &batch.queries {
+        println!(
+            "  {:<8} wave={:<6} retries={} backoff={:.4} ms  {}",
+            q.name,
+            q.wave.map_or("ladder".into(), |w| w.to_string()),
+            q.retries,
+            q.backoff_seconds * 1e3,
+            outcome_label(&q.outcome)
+        );
+    }
+
+    // The full taxonomy must appear, one query each.
+    type OutcomePred = fn(&QueryOutcome) -> bool;
+    let expect: [(&str, OutcomePred); 4] = [
+        ("retried", |o| matches!(o, QueryOutcome::Retried)),
+        ("degraded", |o| matches!(o, QueryOutcome::Degraded { .. })),
+        ("failed", |o| matches!(o, QueryOutcome::Failed { .. })),
+        ("completed", |o| matches!(o, QueryOutcome::Completed)),
+    ];
+    for (name, pred) in expect {
+        let count = batch.queries.iter().filter(|q| pred(&q.outcome)).count();
+        if count != 1 {
+            eprintln!("INVALID: expected exactly one {name} query, found {count}");
+            failures += 1;
+        }
+    }
+
+    // Survivors must match the fault-free run byte-for-byte.
+    for (f, c) in batch.queries.iter().zip(&clean.queries) {
+        if f.outcome.is_success() && f.outputs != c.outputs {
+            eprintln!("INVALID: survivor {} diverged from fault-free run", f.name);
+            failures += 1;
+        }
+        if !f.outcome.is_success() && !f.outputs.is_empty() {
+            eprintln!("INVALID: quarantined {} kept outputs", f.name);
+            failures += 1;
+        }
+    }
+    if batch.serialized_seconds + 1e-15 < batch.makespan_seconds {
+        eprintln!(
+            "INVALID: serialized {} fell below makespan {}",
+            batch.serialized_seconds, batch.makespan_seconds
+        );
+        failures += 1;
+    }
+    if batch.goodput_qps >= batch.throughput_qps {
+        eprintln!("INVALID: goodput must trail throughput when a query is quarantined");
+        failures += 1;
+    }
+    if dev.memory().in_use() != 0 {
+        eprintln!(
+            "INVALID: batch leaked {} device bytes",
+            dev.memory().in_use()
+        );
+        failures += 1;
+    }
+    if let Err(e) = kw_gpu_sim::reconcile(dev.spans(), dev.stats()) {
+        eprintln!("INVALID: faulted batch trace does not reconcile: {e}");
+        failures += 1;
+    }
+    if failures == 0 {
+        println!("  taxonomy, survivor byte-identity, reconciliation: OK\n");
+    }
+    failures
+}
+
+/// Validate the campaign's JSON document; returns the number of failures.
+fn check_json(path: &str) -> u32 {
+    let mut failures = 0;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("INVALID: cannot read {path}: {e}");
+            eprintln!("(run `cargo run -p kw-bench --bin paper_tables -- batch_resilience` first)");
+            return 1;
+        }
+    };
+    match validate_json(&text) {
+        Ok(()) => println!("{path}: well-formed JSON ({} bytes)", text.len()),
+        Err(e) => {
+            eprintln!("INVALID: {path} does not parse: {e}");
+            failures += 1;
+        }
+    }
+    for key in REQUIRED_KEYS {
+        if !text.contains(key) {
+            eprintln!("INVALID: {path} is missing required key {key}");
+            failures += 1;
+        }
+    }
+
+    // Outcome taxonomy must account for every query in every row.
+    let doc = match parse_json(&text) {
+        Ok(d) => d,
+        Err(_) => return failures.max(1),
+    };
+    let Some(JsonValue::Array(rows)) = doc.get("rows") else {
+        eprintln!("INVALID: {path} has no rows array");
+        return failures + 1;
+    };
+    let num = |row: &JsonValue, key: &str| -> Option<f64> {
+        match row.get(key) {
+            Some(JsonValue::Number(v)) => Some(*v),
+            _ => None,
+        }
+    };
+    for (i, row) in rows.iter().enumerate() {
+        let parts: Option<Vec<f64>> = ["completed", "retried", "degraded", "quarantined"]
+            .iter()
+            .map(|k| num(row, k))
+            .collect();
+        let (Some(parts), Some(queries)) = (parts, num(row, "queries")) else {
+            eprintln!("INVALID: rows[{i}] is missing outcome counts");
+            failures += 1;
+            continue;
+        };
+        if parts.iter().sum::<f64>() != queries {
+            eprintln!(
+                "INVALID: rows[{i}] outcome taxonomy sums to {} for {} queries",
+                parts.iter().sum::<f64>(),
+                queries
+            );
+            failures += 1;
+        }
+        match num(row, "goodput_qps") {
+            Some(g) if g > 0.0 => {}
+            _ => {
+                eprintln!("INVALID: rows[{i}] goodput must be positive");
+                failures += 1;
+            }
+        }
+        match num(row, "waves") {
+            Some(w) if w >= 1.0 => {}
+            _ => {
+                eprintln!("INVALID: rows[{i}] must issue at least one wave");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!(
+            "{path}: all {} required keys present, {} rows taxonomy-consistent",
+            REQUIRED_KEYS.len(),
+            rows.len()
+        );
+    }
+    failures
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bench_results/BENCH_batch_resilience.json".into());
+    let failures = taxonomy_demo() + check_json(&path);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -6,12 +6,12 @@
 //! Resident → Staged → Chunked.
 
 use kw_core::{
-    execute_plan, execute_resilient, AdmittedMode, QueryPlan, ResourceBudget, RetryPolicy,
-    WeaverConfig,
+    execute_batch, execute_plan, execute_resilient, AdmittedMode, BatchQuery, LadderStop,
+    QueryOutcome, QueryPlan, ResourceBudget, RetryPolicy, WeaverConfig, WeaverError,
 };
 use kw_gpu_sim::{Device, DeviceConfig, FaultConfig, FaultKind, ScriptedFault, SimError};
 use kw_primitives::RaOp;
-use kw_relational::{gen, CmpOp, Predicate, Schema, Value};
+use kw_relational::{gen, CmpOp, Predicate, Relation, Schema, Value};
 use proptest::prelude::*;
 
 fn select_plan(schema: Schema) -> QueryPlan {
@@ -290,6 +290,97 @@ fn scripted_fault_costs_exactly_one_retry() {
     assert!((res.backoff_seconds - policy.base_backoff_seconds).abs() < 1e-15);
     assert_eq!(dev.stats().faults_injected, 1);
     assert_eq!(dev.memory().in_use(), 0);
+}
+
+/// An all-equal-key self-join whose output is quadratic in its input: the
+/// admission estimator (which sizes joins at `max(left, right)` rows)
+/// under-predicts it, so the plan is admitted and then hits a *mid-run*
+/// capacity miss that no ladder rung can absorb — joins are not
+/// elementwise, so there is no Chunked rung below Staged.
+fn exploding_join(n: usize) -> (QueryPlan, Relation) {
+    let schema = Schema::uniform_u32(2);
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| vec![Value::U32(7), Value::U32(i as u32)])
+        .collect();
+    let input = Relation::from_rows(schema.clone(), &rows).unwrap();
+    let mut plan = QueryPlan::new();
+    let t = plan.add_input("t", schema);
+    let j = plan.add_op(RaOp::Join { key_len: 1 }, &[t, t]).unwrap();
+    plan.mark_output(j);
+    (plan, input)
+}
+
+/// Ladder exhaustion is a *typed* verdict: the resilient driver reports
+/// `NonElementwiseBlocksChunking` when a join blows past the device
+/// mid-run and no rung below Staged exists — not a bare capacity error.
+#[test]
+fn exploding_join_exhausts_ladder_with_typed_reason() {
+    // 1024 all-equal keys: 8 KiB of input sails through admission, but the
+    // 1 Mi-row join output cannot fit the 1 MiB device in any mode.
+    let (plan, input) = exploding_join(1024);
+    let mut dev = Device::new(DeviceConfig::tiny());
+    let err = execute_resilient(
+        &plan,
+        &[("t", &input)],
+        &mut dev,
+        &WeaverConfig::default(),
+        &RetryPolicy::default(),
+    )
+    .unwrap_err();
+    match &err {
+        WeaverError::LadderExhausted { stop, .. } => {
+            assert_eq!(*stop, LadderStop::NonElementwiseBlocksChunking, "{err}");
+        }
+        other => panic!("expected LadderExhausted, got {other}"),
+    }
+    assert!(err.to_string().contains("not elementwise"), "{err}");
+    assert_eq!(
+        dev.memory().in_use(),
+        0,
+        "exhausted ladder leaked device memory"
+    );
+}
+
+/// The same exploding join inside a batch quarantines only itself: the
+/// batch completes, the join reports `Failed` with the ladder-exhaustion
+/// reason, and its neighbors' answers are untouched.
+#[test]
+fn exploding_join_in_batch_quarantines_only_itself() {
+    let (join_plan, join_input) = exploding_join(1024);
+    let ok_input = gen::micro_input(5_000, 9);
+    let ok_plan = select_plan(ok_input.schema().clone());
+    let bj = [("t", &join_input)];
+    let bo = [("t", &ok_input)];
+    let queries = [
+        BatchQuery {
+            name: "boom",
+            plan: &join_plan,
+            bindings: &bj,
+        },
+        BatchQuery {
+            name: "ok",
+            plan: &ok_plan,
+            bindings: &bo,
+        },
+    ];
+    let mut dev = Device::new(DeviceConfig::tiny());
+    let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
+
+    let boom = &batch.queries[0];
+    match &boom.outcome {
+        QueryOutcome::Failed { reason } => {
+            assert!(reason.contains("not elementwise"), "{reason}");
+        }
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+    assert!(boom.outputs.is_empty());
+
+    let ok = &batch.queries[1];
+    assert!(ok.outcome.is_success(), "{:?}", ok.outcome);
+    let mut solo = Device::new(DeviceConfig::fermi_c2050());
+    let oracle = execute_plan(&ok_plan, &bo, &mut solo, &WeaverConfig::default()).unwrap();
+    assert_eq!(ok.outputs, oracle.outputs);
+    assert_eq!(dev.memory().in_use(), 0, "quarantine leaked device memory");
 }
 
 /// An elementwise SELECT/PROJECT chain of the given depth (≥ 1) over a

@@ -5,8 +5,11 @@
 
 use proptest::prelude::*;
 
-use kw_core::{execute_batch, execute_plan, BatchQuery, QueryPlan, WeaverConfig};
-use kw_gpu_sim::{Device, DeviceConfig};
+use kw_core::{
+    execute_batch, execute_batch_with_policy, execute_plan, BatchQuery, QueryPlan, RetryPolicy,
+    WeaverConfig,
+};
+use kw_gpu_sim::{Device, DeviceConfig, FaultConfig, FaultKind, ScriptedFault};
 use kw_primitives::RaOp;
 use kw_relational::{gen, CmpOp, Predicate, Relation, Value};
 
@@ -139,6 +142,150 @@ proptest! {
             prop_assert_eq!(&r.outputs, &fwd.outputs);
         }
     }
+
+    /// Fault domains do not bleed: under arbitrary transient fault rates,
+    /// every *surviving* query's outputs are byte-identical to the same
+    /// batch run fault-free, quarantined queries return nothing, the
+    /// retried batch still satisfies `serialized >= makespan`, no device
+    /// memory leaks, and the whole thing is deterministic.
+    #[test]
+    fn faulted_batch_preserves_survivor_outputs(
+        shapes in arb_batch(),
+        fault_seed in any::<u64>(),
+        rate_idx in 0usize..3,
+    ) {
+        let rate = [0.02, 0.05, 0.10][rate_idx];
+        let inputs: Vec<Relation> =
+            shapes.iter().map(|&(n, seed, _)| gen::micro_input(n, seed)).collect();
+        let plans: Vec<QueryPlan> =
+            shapes.iter().zip(&inputs).map(|(&(_, _, d), i)| chain(i, d)).collect();
+        let bindings: Vec<[(&str, &Relation); 1]> =
+            inputs.iter().map(|i| [("t", i)]).collect();
+        let queries: Vec<BatchQuery<'_>> = plans
+            .iter()
+            .zip(&bindings)
+            .map(|(p, b)| BatchQuery { name: "q", plan: p, bindings: b })
+            .collect();
+
+        let mut clean_dev = device();
+        let clean = execute_batch(&queries, &mut clean_dev, &WeaverConfig::default()).unwrap();
+
+        let faults = FaultConfig {
+            seed: fault_seed,
+            transfer_rate: rate,
+            launch_rate: rate,
+            ..FaultConfig::default()
+        };
+        let policy = RetryPolicy {
+            max_retries: 64,
+            base_backoff_seconds: 1e-4,
+            backoff_multiplier: 1.1,
+        };
+        let run_once = || {
+            let mut dev = device();
+            dev.inject_faults(faults.clone());
+            let batch =
+                execute_batch_with_policy(&queries, &mut dev, &WeaverConfig::default(), &policy)
+                    .unwrap();
+            let leaked = dev.memory().in_use();
+            let reconciled = kw_gpu_sim::reconcile(dev.spans(), dev.stats());
+            (batch, leaked, reconciled)
+        };
+        let (batch, leaked, reconciled) = run_once();
+
+        prop_assert_eq!(leaked, 0, "faulted batch leaked device memory");
+        prop_assert!(reconciled.is_ok(), "{:?}", reconciled);
+        for (f, c) in batch.queries.iter().zip(&clean.queries) {
+            if f.outcome.is_success() {
+                prop_assert_eq!(
+                    &f.outputs, &c.outputs,
+                    "survivor diverged from fault-free run"
+                );
+            } else {
+                prop_assert!(f.outputs.is_empty(), "quarantined query kept outputs");
+            }
+        }
+        prop_assert!(
+            batch.serialized_seconds >= batch.makespan_seconds - 1e-12,
+            "retried batch broke serialized {} >= makespan {}",
+            batch.serialized_seconds,
+            batch.makespan_seconds
+        );
+        let successes = batch.queries.iter().filter(|q| q.outcome.is_success()).count();
+        if batch.makespan_seconds > 0.0 {
+            let expect = successes as f64 / batch.makespan_seconds;
+            prop_assert!((batch.goodput_qps - expect).abs() < 1e-9);
+        }
+
+        // Identical faulted runs agree bit-for-bit.
+        let (again, _, _) = run_once();
+        prop_assert_eq!(
+            batch.makespan_seconds.to_bits(),
+            again.makespan_seconds.to_bits()
+        );
+        for (a, b) in batch.queries.iter().zip(&again.queries) {
+            prop_assert_eq!(&a.outcome, &b.outcome);
+            prop_assert_eq!(&a.outputs, &b.outputs);
+        }
+    }
+}
+
+/// A scripted transient fault on the batch's first shared-device transfer
+/// is absorbed deterministically: the struck query reports `Retried` with
+/// the quoted backoff, its outputs and every other query's outputs are
+/// byte-identical to the fault-free batch, and the retried batch still
+/// satisfies `serialized >= makespan` (the backoff is serial work, so it
+/// counts in both).
+#[test]
+fn scripted_batch_fault_retries_without_changing_answers() {
+    let a = gen::micro_input(60_000, 91);
+    let b = gen::micro_input(50_000, 92);
+    let pa = chain(&a, 2);
+    let pb = chain(&b, 3);
+    let (ba, bb) = ([("t", &a)], [("t", &b)]);
+    let queries = [
+        BatchQuery {
+            name: "alpha",
+            plan: &pa,
+            bindings: &ba,
+        },
+        BatchQuery {
+            name: "beta",
+            plan: &pb,
+            bindings: &bb,
+        },
+    ];
+
+    let mut clean_dev = device();
+    let clean = execute_batch(&queries, &mut clean_dev, &WeaverConfig::default()).unwrap();
+
+    let mut dev = device();
+    dev.inject_faults(FaultConfig::scripted(vec![ScriptedFault {
+        kind: FaultKind::Transfer,
+        attempt: 0,
+    }]));
+    let policy = RetryPolicy::default();
+    let batch =
+        execute_batch_with_policy(&queries, &mut dev, &WeaverConfig::default(), &policy).unwrap();
+
+    let struck: Vec<_> = batch.queries.iter().filter(|q| q.retries > 0).collect();
+    assert_eq!(struck.len(), 1, "exactly one query absorbs the fault");
+    assert_eq!(struck[0].retries, 1);
+    assert!((struck[0].backoff_seconds - policy.base_backoff_seconds).abs() < 1e-15);
+    assert_eq!(batch.quarantined_count(), 0);
+    for (f, c) in batch.queries.iter().zip(&clean.queries) {
+        assert_eq!(f.outputs, c.outputs, "{}", f.name);
+    }
+    assert!(
+        batch.serialized_seconds >= batch.makespan_seconds - 1e-15,
+        "serialized {} vs makespan {}",
+        batch.serialized_seconds,
+        batch.makespan_seconds
+    );
+    // The backoff delayed the batch relative to the clean run.
+    assert!(batch.makespan_seconds > clean.makespan_seconds);
+    assert_eq!(dev.memory().in_use(), 0);
+    kw_gpu_sim::reconcile(dev.spans(), dev.stats()).unwrap();
 }
 
 /// The ISSUE's acceptance bar: for at least two independent plans, the
