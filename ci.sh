@@ -42,7 +42,7 @@ echo "== scheduler benchmark JSON (paper_tables -- scheduler)"
 # section itself asserts batched-fused < batched-unfused < serial-fused.
 bench_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$bench_dir"' EXIT
-cargo run -q --release -p kw-bench --bin paper_tables -- scheduler profile batch_resilience --csv "$bench_dir" > /dev/null
+cargo run -q --release -p kw-bench --bin paper_tables -- scheduler profile batch_resilience out_of_core --csv "$bench_dir" > /dev/null
 cargo run -q -p kw-examples --example bench_json_check -- "$bench_dir/BENCH_scheduler.json"
 
 echo "== batch resilience gate (examples/batch_resilience.rs)"
@@ -52,6 +52,14 @@ echo "== batch resilience gate (examples/batch_resilience.rs)"
 # BENCH_batch_resilience.json; exits non-zero on any INVALID line.
 cargo run -q -p kw-examples --example batch_resilience -- \
     "$bench_dir/BENCH_batch_resilience.json" > /dev/null
+
+echo "== out-of-core chunking gate (examples/out_of_core_check.rs)"
+# Schema-validates the chunk-strategy campaign's BENCH_out_of_core.json:
+# every row must be genuinely out of core (device < inputs), chunked under
+# a named strategy, with fusion_gain = unfused/fused; exits non-zero on
+# any INVALID line.
+cargo run -q -p kw-examples --example out_of_core_check -- \
+    "$bench_dir/BENCH_out_of_core.json" > /dev/null
 
 echo "== observability schema validation (examples/profile.rs)"
 # Prints the bottleneck profile and Prometheus export for a staged run and

@@ -153,8 +153,20 @@ fn direction(path: &str) -> Direction {
     if leaf == "quarantined" {
         return Direction::LowerIsBetter;
     }
-    if leaf == "queries" || leaf == "tuples_per_query" || leaf == "waves" {
+    if leaf == "queries"
+        || leaf == "tuples_per_query"
+        || leaf == "tuples_per_input"
+        || leaf == "waves"
+        || leaf == "input_bytes"
+        || leaf == "device_bytes"
+    {
         return Direction::Exact;
+    }
+    // Out-of-core chunk counts: a coarser decomposition (fewer chunks) is
+    // fine, needing *more* chunks than the baseline for the same workload
+    // means per-chunk footprints grew.
+    if leaf == "chunks" {
+        return Direction::LowerIsBetter;
     }
     Direction::TwoSided
 }
@@ -307,6 +319,31 @@ mod tests {
         // ...and the wave structure is exact.
         assert_eq!(diff("{\"waves\": 2}", "{\"waves\": 3}").len(), 1);
         assert!(diff("{\"waves\": 2}", "{\"waves\": 2}").is_empty());
+    }
+
+    #[test]
+    fn out_of_core_metrics_have_typed_directions() {
+        // Strategy strings are structural...
+        assert_eq!(
+            diff(
+                "{\"strategy\": \"hash-partition\"}",
+                "{\"strategy\": \"row-slice\"}"
+            )
+            .len(),
+            1
+        );
+        // ...byte footprints are exact...
+        assert_eq!(
+            diff("{\"input_bytes\": 1024}", "{\"input_bytes\": 1025}").len(),
+            1
+        );
+        assert_eq!(
+            diff("{\"device_bytes\": 512}", "{\"device_bytes\": 256}").len(),
+            1
+        );
+        // ...and chunk counts may shrink but not grow.
+        assert!(diff("{\"chunks\": 8}", "{\"chunks\": 4}").is_empty());
+        assert_eq!(diff("{\"chunks\": 8}", "{\"chunks\": 16}").len(), 1);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use kw_bench::experiments::{
     ablations, batch_resilience, capacity, density, fig04, fig16, fig17, fig18, fig19, fig20,
-    fig21, overlap, platforms, profile, queries, robustness, scheduler, table2, table3, trace,
+    fig21, out_of_core, overlap, platforms, profile, queries, robustness, scheduler, table2,
+    table3, trace,
 };
 
 fn main() {
@@ -844,6 +845,67 @@ fn main() {
                         r.goodput_qps,
                         r.makespan_seconds,
                         r.latency_p99_seconds
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!();
+    });
+
+    run(&["out_of_core"], &|| {
+        section("Out-of-core chunking: paper patterns on a device below their inputs");
+        let n = 1 << 13;
+        println!(
+            "  {n} tuples/input; device capped at half of min(input footprint, staged\n  \
+             peak) so the ladder must pick a chunk strategy; outputs byte-checked\n  \
+             against resident execution on an oversized device\n"
+        );
+        println!(
+            "{:>6}  {:>18}  {:>10}  {:>10}  {:>6}  {:>10}  {:>10}  {:>6}",
+            "pat", "strategy", "input", "device", "chunks", "fused", "unfused", "gain"
+        );
+        let rows = out_of_core::run(n);
+        for r in &rows {
+            println!(
+                "{:>6}  {:>18}  {:>7} KiB  {:>7} KiB  {:>6}  {:>7.3} ms  {:>7.3} ms  {:>5.2}x",
+                r.pattern,
+                r.strategy,
+                r.input_bytes >> 10,
+                r.device_bytes >> 10,
+                r.chunks,
+                r.fused_seconds * 1e3,
+                r.unfused_seconds * 1e3,
+                r.fusion_gain,
+            );
+        }
+        println!("  (joins hash-partition, aggregates merge partials, selects row-slice —");
+        println!("   no pattern quarantines for being larger than the device)");
+        // Machine-readable results for the CI gate, always emitted; `--csv`
+        // only redirects where they land.
+        let dir = csv_dir.clone().unwrap_or_else(|| "bench_results".into());
+        std::fs::create_dir_all(&dir).expect("create bench_results dir");
+        let path = dir.join("BENCH_out_of_core.json");
+        let json = out_of_core::to_json(n, &rows);
+        kw_gpu_sim::validate_json(&json).expect("out_of_core JSON must parse");
+        std::fs::write(&path, json).expect("write BENCH_out_of_core.json");
+        println!("  wrote {}", path.display());
+        csv(
+            "out_of_core.csv",
+            "pattern,strategy,input_bytes,device_bytes,chunks,\
+             fused_seconds,unfused_seconds,fusion_gain",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},{},{},{},{},{}",
+                        r.pattern,
+                        r.strategy,
+                        r.input_bytes,
+                        r.device_bytes,
+                        r.chunks,
+                        r.fused_seconds,
+                        r.unfused_seconds,
+                        r.fusion_gain
                     )
                 })
                 .collect::<Vec<_>>(),

@@ -15,6 +15,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod fig21;
+pub mod out_of_core;
 pub mod overlap;
 pub mod platforms;
 pub mod profile;

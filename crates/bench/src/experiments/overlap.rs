@@ -59,8 +59,10 @@ impl OverlapRow {
     }
 }
 
-/// Run the study over `patterns` (elementwise only — chunking rejects
-/// joins) at `n` tuples per input, split into `chunks` chunks, staged mode.
+/// Run the study over `patterns` at `n` tuples per input, split into
+/// `chunks` chunks, staged mode. (The campaign uses the elementwise
+/// patterns (a)/(d)/(e); joins stream too nowadays, but their overlap
+/// story is the `out_of_core` campaign's job.)
 pub fn run(patterns: &[Pattern], n: usize, chunks: usize) -> Vec<OverlapRow> {
     patterns
         .iter()

@@ -32,8 +32,8 @@ pub struct Row {
     pub serial_fused: f64,
     /// Queries per second of makespan for the fused batch.
     pub throughput_qps: f64,
-    /// Median per-query latency of the fused batch, seconds (from the
-    /// scheduler's log-bucketed latency histogram).
+    /// Median per-query latency of the fused batch, seconds (exact
+    /// nearest-rank order statistic over the successful queries).
     pub latency_p50: f64,
     /// 95th-percentile per-query latency of the fused batch, seconds.
     pub latency_p95: f64,

@@ -6,8 +6,9 @@
 //! set, so the predicted resident peak of a fused plan is smaller and a
 //! larger input still fits [`AdmittedMode::Resident`]. When Resident does
 //! not fit, the ladder continues downward: [`AdmittedMode::Staged`] (free
-//! operator results after every step, the Fig. 21 setup) and, for
-//! elementwise plans, [`AdmittedMode::Chunked`] row-streaming.
+//! operator results after every step, the Fig. 21 setup) and, for plans
+//! with a [`ChunkStrategy`] (row-sliceable, hash-partitionable, or
+//! merge-aggregable), [`AdmittedMode::Chunked`] streaming.
 //!
 //! Predictions walk the compiled plan's buffer liveness exactly as the
 //! executor allocates — same refcounts, same gather-scratch, same
@@ -22,7 +23,8 @@ use kw_primitives::RaOp;
 use kw_relational::Relation;
 
 use crate::{
-    is_elementwise, CompiledPlan, ExecMode, NodeId, PlanNode, QueryPlan, Result, WeaverError,
+    is_elementwise, select_chunk_strategy, ChunkStrategy, CompiledPlan, ExecMode, NodeId, PlanNode,
+    QueryPlan, Result, WeaverError,
 };
 
 /// Hard ceiling on the chunk count the ladder will try.
@@ -35,9 +37,12 @@ pub enum AdmittedMode {
     Resident,
     /// Operator results round-trip to the host after every step.
     Staged,
-    /// Row-chunked streaming with double buffering (elementwise plans only).
+    /// Chunked streaming with double buffering, under the plan's
+    /// [`ChunkStrategy`] (row slices, hash buckets, or partial-aggregate
+    /// slices).
     Chunked {
-        /// Number of row chunks the inputs are split into.
+        /// Number of chunks (row slices or hash buckets) the inputs are
+        /// split into.
         chunks: usize,
     },
 }
@@ -61,11 +66,15 @@ pub struct AdmissionReport {
     pub resident_peak: u64,
     /// Predicted peak device bytes in staged mode.
     pub staged_peak: u64,
-    /// For elementwise plans: the smallest power-of-two chunk count whose
-    /// predicted per-chunk peak fits, with that peak.
+    /// For plans with a chunk strategy: the smallest power-of-two chunk
+    /// count whose predicted per-chunk peak fits, with that peak.
     pub chunked: Option<(usize, u64)>,
-    /// Whether the plan is elementwise (eligible for chunked streaming).
+    /// Whether the plan is elementwise (row-sliceable without
+    /// repartitioning).
     pub elementwise: bool,
+    /// The chunk strategy available to this plan, if any — `None` means the
+    /// ladder has no rung below Staged.
+    pub strategy: Option<ChunkStrategy>,
     /// The cheapest mode predicted to fit.
     pub chosen: AdmittedMode,
 }
@@ -113,6 +122,33 @@ fn estimated_rows(
         rows.insert(id, n);
     }
     Ok(rows)
+}
+
+/// Row estimates for a chunked execution at `chunks` chunks: *input* row
+/// counts shrink by the chunk factor (a row slice or hash bucket holds
+/// ~1/chunks of each input) and the shrunken counts re-propagate through
+/// [`estimate_op_rows`]. Re-propagating — rather than dividing every node's
+/// rows uniformly — is what prices a hash-partitioned join correctly: the
+/// per-bucket join sees bucket-pair inputs, so its estimate is
+/// `max(l/chunks, r/chunks)`, the bucket-pair resident bytes, not the whole
+/// join output divided by the chunk count.
+fn chunked_rows(
+    plan: &QueryPlan,
+    rows: &BTreeMap<NodeId, u64>,
+    chunks: u64,
+) -> BTreeMap<NodeId, u64> {
+    let mut scaled = BTreeMap::new();
+    for id in plan.node_ids() {
+        let n = match plan.node(id) {
+            PlanNode::Input { .. } => rows[&id].div_ceil(chunks),
+            PlanNode::Operator { op, inputs } => {
+                let ins: Vec<u64> = inputs.iter().map(|i| scaled[i]).collect();
+                estimate_op_rows(op, &ins)
+            }
+        };
+        scaled.insert(id, n);
+    }
+    scaled
 }
 
 /// Estimated buffer bytes per node, with every row count divided (rounding
@@ -238,11 +274,12 @@ pub fn admit(
     let resident_peak = predict_peak(plan, compiled, &whole, ExecMode::Resident);
     let staged_peak = predict_peak(plan, compiled, &whole, ExecMode::Staged);
     let elementwise = is_elementwise(plan);
+    let strategy = select_chunk_strategy(plan);
 
-    let chunked = elementwise.then(|| {
+    let chunked = strategy.and_then(|_| {
         let mut chunks = 2usize;
         while chunks <= MAX_CHUNKS {
-            let scaled = node_bytes(plan, &rows, chunks as u64);
+            let scaled = node_bytes(plan, &chunked_rows(plan, &rows, chunks as u64), 1);
             let peak = predict_peak(plan, compiled, &scaled, ExecMode::Resident);
             if peak <= capacity {
                 return Some((chunks, peak));
@@ -251,7 +288,6 @@ pub fn admit(
         }
         None
     });
-    let chunked = chunked.flatten();
 
     let chosen = if resident_peak <= capacity {
         AdmittedMode::Resident
@@ -263,10 +299,10 @@ pub fn admit(
         return Err(WeaverError::admission(format!(
             "no mode fits {capacity} device bytes: resident needs {resident_peak}, staged \
              {staged_peak}, {}",
-            if elementwise {
-                format!("chunked still over capacity at {MAX_CHUNKS} chunks")
-            } else {
-                "plan is not elementwise so chunked streaming is unavailable".to_string()
+            match strategy {
+                Some(s) => format!("chunked ({s}) still over capacity at {MAX_CHUNKS} chunks"),
+                None =>
+                    "plan admits no chunk strategy so chunked streaming is unavailable".to_string(),
             }
         )));
     };
@@ -277,6 +313,7 @@ pub fn admit(
         staged_peak,
         chunked,
         elementwise,
+        strategy,
         chosen,
     })
 }
@@ -563,6 +600,9 @@ mod tests {
 
     #[test]
     fn impossible_capacity_rejected_with_typed_error() {
+        // A join now HAS a chunk strategy (hash partitioning), so at an
+        // absurd capacity the rejection cites the chunk ceiling, not a
+        // missing strategy.
         let (l, r) = gen::join_inputs(5_000, 2, 0.5, 4);
         let mut plan = QueryPlan::new();
         let x = plan.add_input("x", l.schema().clone());
@@ -572,7 +612,45 @@ mod tests {
         let compiled = compile(&plan, &WeaverConfig::default()).unwrap();
         let err = admit(&plan, &compiled, &[("x", &l), ("y", &r)], 64).unwrap_err();
         assert!(matches!(err, WeaverError::Admission { .. }), "{err}");
-        assert!(err.to_string().contains("not elementwise"));
+        assert!(err.to_string().contains("hash-partition"), "{err}");
+        assert!(err.to_string().contains("over capacity"), "{err}");
+
+        // A full sort has no strategy at all: the rejection says so.
+        let input = gen::micro_input(5_000, 4);
+        let mut sorty = QueryPlan::new();
+        let t = sorty.add_input("t", input.schema().clone());
+        let s = sorty.add_op(RaOp::Sort { attrs: vec![1] }, &[t]).unwrap();
+        sorty.mark_output(s);
+        let compiled = compile(&sorty, &WeaverConfig::default()).unwrap();
+        let err = admit(&sorty, &compiled, &[("t", &input)], 64).unwrap_err();
+        assert!(matches!(err, WeaverError::Admission { .. }), "{err}");
+        assert!(err.to_string().contains("no chunk strategy"), "{err}");
+    }
+
+    #[test]
+    fn joins_admit_chunked_on_small_devices() {
+        // A join whose staged peak exceeds capacity degrades to hash
+        // partitioning; the predicted per-bucket peak prices bucket-pair
+        // inputs, so it fits once the bucket count divides the inputs down.
+        let (l, r) = gen::join_inputs(50_000, 2, 0.5, 14);
+        let mut plan = QueryPlan::new();
+        let x = plan.add_input("x", l.schema().clone());
+        let y = plan.add_input("y", r.schema().clone());
+        let j = plan.add_op(RaOp::Join { key_len: 1 }, &[x, y]).unwrap();
+        plan.mark_output(j);
+        let compiled = compile(&plan, &WeaverConfig::default()).unwrap();
+        let bindings: &[(&str, &Relation)] = &[("x", &l), ("y", &r)];
+        let solo = admit(&plan, &compiled, bindings, u64::MAX).unwrap();
+        assert_eq!(solo.strategy, Some(ChunkStrategy::HashPartition));
+
+        let capacity = solo.staged_peak / 4;
+        let report = admit(&plan, &compiled, bindings, capacity).unwrap();
+        assert!(
+            matches!(report.chosen, AdmittedMode::Chunked { .. }),
+            "{report:?}"
+        );
+        let (chunks, peak) = report.chunked.unwrap();
+        assert!(chunks >= 2 && peak <= capacity, "{report:?}");
     }
 
     #[test]

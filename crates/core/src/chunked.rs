@@ -1,17 +1,34 @@
 //! Chunked, double-buffered execution — the related-work technique the
 //! paper cites as orthogonal to kernel fusion, made concrete.
 //!
-//! An *elementwise* plan (every operator thread-dependent: SELECT, PROJECT,
-//! MAP) distributes over any row partition of its inputs, so the input can
-//! stream through the GPU in chunks with chunk *i*'s computation overlapping
-//! chunk *i+1*'s upload and chunk *i−1*'s download. Fusion composes with
-//! this: the fused kernel still runs per chunk, and still moves less data.
+//! A plan streams through a device smaller than its inputs by decomposing
+//! into chunks under a [`ChunkStrategy`] chosen by
+//! [`select_chunk_strategy`]:
+//!
+//! * **row-slice** — an *elementwise* plan (every operator
+//!   thread-dependent: SELECT, PROJECT, MAP) distributes over any row
+//!   partition of its inputs, so the inputs are sliced uniformly by index;
+//! * **hash-partition** — a key-matching plan (joins, semi/anti-joins, set
+//!   ops over selects/projections) is co-partitioned by a hash of each
+//!   tuple's leading key word: matching rows share the key, so every bucket
+//!   pair is an independent sub-problem and bucket results are disjoint;
+//! * **partial-aggregate** — a thread-dependent prefix feeding one final
+//!   AGGREGATE runs per row slice producing *partials*, merged on the host
+//!   under the aggregate's associativity.
+//!
+//! In every strategy chunk *i*'s computation overlaps chunk *i+1*'s upload
+//! and chunk *i−1*'s download. Fusion composes with this: the fused kernel
+//! still runs per chunk, and still moves less data.
 
 use kw_gpu_sim::{Device, Direction, SimStats};
 use kw_primitives::{consumer_class, DependenceClass};
-use kw_relational::Relation;
+use kw_relational::{Relation, Schema};
 
-use crate::{compile, CompiledPlan, NodeId, QueryPlan, Result, WeaverConfig, WeaverError};
+use crate::chunk_strategy::{bucket_of, merge_partials, partial_aggregate_plan};
+use crate::{
+    compile, select_chunk_strategy, ChunkStrategy, CompiledPlan, NodeId, QueryPlan, Result,
+    WeaverConfig, WeaverError,
+};
 
 /// Report of a chunked execution.
 #[derive(Debug)]
@@ -20,8 +37,18 @@ pub struct ChunkedReport {
     pub outputs: std::collections::BTreeMap<NodeId, Relation>,
     /// Sum of per-chunk GPU seconds.
     pub gpu_seconds: f64,
-    /// Sum of per-chunk transfer seconds.
+    /// Sum of per-chunk *boundary* transfer seconds: the H2D uploads of
+    /// chunk inputs and D2H downloads of chunk outputs that the stream
+    /// scheduler can overlap with compute.
     pub pcie_seconds: f64,
+    /// Sum of per-chunk *residual* transfer seconds: staged-intermediate
+    /// round trips inside a chunk, which serialize with the compute that
+    /// produces/consumes them. Kept separate from [`pcie_seconds`] so the
+    /// field means the same thing here as in resident/staged reports once
+    /// the two are added — roofline attribution must count both.
+    ///
+    /// [`pcie_seconds`]: ChunkedReport::pcie_seconds
+    pub residual_pcie_seconds: f64,
     /// End-to-end seconds with transfers fully serialized.
     pub serialized_seconds: f64,
     /// End-to-end seconds under double buffering: chunk *i* computes while
@@ -32,28 +59,34 @@ pub struct ChunkedReport {
     /// [`pipeline_makespan`] for the closed-form oracle it must match on
     /// pure three-stage pipelines.
     pub pipelined_seconds: f64,
-    /// Number of chunks executed.
+    /// Number of chunks actually executed. Fully-empty chunk slots (every
+    /// input relation of the slot empty) are skipped — they fork no scratch
+    /// device, launch no kernels and emit no spans — so this equals the
+    /// number of `chunk{i}` stream groups in the trace, not the requested
+    /// chunk count.
     pub chunks: usize,
+    /// The decomposition the executor ran.
+    pub strategy: ChunkStrategy,
     /// Largest peak device bytes any single chunk reached on its scratch
     /// device — the footprint a real GPU would need for this schedule.
     pub peak_device_bytes: u64,
 }
 
 /// Whether every operator of `plan` is thread-dependent (elementwise), the
-/// prerequisite for row-chunked streaming.
+/// prerequisite for *row-sliced* streaming (other plans may still chunk
+/// under a different [`ChunkStrategy`]).
 pub fn is_elementwise(plan: &QueryPlan) -> bool {
     plan.operator_nodes()
         .all(|(_, op, _)| consumer_class(op) == DependenceClass::Thread)
 }
 
-/// Execute `plan` over `bindings` in `chunks` row-chunks with simulated
-/// double buffering.
+/// Execute `plan` over `bindings` in `chunks` chunks with simulated double
+/// buffering, under the strategy [`select_chunk_strategy`] picks.
 ///
 /// # Errors
 ///
-/// Returns [`WeaverError::Plan`] if the plan is not elementwise (CTA- or
-/// kernel-dependent operators cannot stream row chunks independently), and
-/// propagates compilation/execution errors.
+/// Returns [`WeaverError::Plan`] if no chunk strategy preserves the plan's
+/// answer (e.g. a full sort), and propagates compilation/execution errors.
 ///
 /// # Examples
 ///
@@ -104,43 +137,180 @@ pub fn execute_chunked_compiled(
     config: &WeaverConfig,
     chunks: usize,
 ) -> Result<ChunkedReport> {
-    if !is_elementwise(plan) {
+    let Some(strategy) = select_chunk_strategy(plan) else {
         return Err(WeaverError::plan(
-            "chunked streaming requires an elementwise (thread-dependent-only) plan",
+            "chunked streaming requires a partitionable plan: row-sliceable (elementwise), \
+             hash-partitionable, or merge-aggregable",
         ));
-    }
+    };
     let chunks = chunks.max(1);
 
-    // Split every bound input into row chunks (chunking by index keeps each
-    // chunk key-sorted and their concatenation key-ordered).
-    let mut chunked_inputs: Vec<Vec<(&str, Relation)>> = vec![Vec::new(); chunks];
+    match strategy {
+        ChunkStrategy::RowSlice => {
+            let slots = row_slice_inputs(bindings, effective_chunks(bindings, chunks))?;
+            let run = run_chunks(plan, compiled, &slots, device, config)?;
+            finish_concat(run, strategy)
+        }
+        ChunkStrategy::HashPartition => {
+            // No clamp: buckets are keyed by hash, not row index, and a
+            // bucket count above the distinct-key count just leaves empty
+            // slots that are skipped below.
+            let slots = hash_partition_inputs(bindings, chunks)?;
+            let run = run_chunks(plan, compiled, &slots, device, config)?;
+            finish_concat(run, strategy)
+        }
+        ChunkStrategy::PartialAggregate => {
+            let spec = partial_aggregate_plan(plan)?;
+            let partial_compiled = compile(&spec.plan, config)?;
+            let slots = row_slice_inputs(bindings, effective_chunks(bindings, chunks))?;
+            let mut run = run_chunks(&spec.plan, &partial_compiled, &slots, device, config)?;
+            let partial_words = run.outputs.remove(&spec.node).unwrap_or_default();
+            let merged = merge_partials(&spec, &partial_words)?;
+            let outputs = std::iter::once((spec.node, merged)).collect();
+            Ok(run.into_report(outputs, strategy))
+        }
+    }
+}
+
+/// Satellite of the row-sliced strategies: never request more chunks than
+/// the shortest bound input has rows — the extra slots would hold no data
+/// yet still fork scratch devices and launch zero-row kernels.
+fn effective_chunks(bindings: &[(&str, &Relation)], requested: usize) -> usize {
+    let shortest = bindings.iter().map(|(_, r)| r.len()).min().unwrap_or(0);
+    requested.clamp(1, shortest.max(1))
+}
+
+/// Slice every bound input into `chunks` row chunks (chunking by index
+/// keeps each chunk key-sorted and their concatenation key-ordered).
+fn row_slice_inputs<'a>(
+    bindings: &[(&'a str, &Relation)],
+    chunks: usize,
+) -> Result<Vec<Vec<(&'a str, Relation)>>> {
+    let mut slots: Vec<Vec<(&str, Relation)>> = vec![Vec::new(); chunks];
     for (name, rel) in bindings {
         let arity = rel.schema().arity();
-        for (c, slot) in chunked_inputs.iter_mut().enumerate() {
+        for (c, slot) in slots.iter_mut().enumerate() {
             let lo = c * rel.len() / chunks;
             let hi = (c + 1) * rel.len() / chunks;
             let words = rel.words()[lo * arity..hi * arity].to_vec();
-            let chunk = Relation::from_sorted_words(rel.schema().clone(), words)?;
-            slot.push((name, chunk));
+            slot.push((
+                name,
+                Relation::from_sorted_words(rel.schema().clone(), words)?,
+            ));
         }
     }
+    Ok(slots)
+}
 
-    // Execute each chunk on a scratch device to get its isolated costs,
-    // then replay the chunk's traffic and compute on the user's device as
-    // real streamed operations: one stream per chunk, uploads on the H2D
-    // copy engine, the chunk's kernels as one compute span, downloads on
-    // the D2H engine. The stream scheduler — not a side formula — decides
-    // how much of the traffic hides behind compute.
+/// Co-partition every bound input into `buckets` hash buckets on the
+/// tuple's leading key word. Rows of every input with equal keys share a
+/// bucket, so each bucket is an independent sub-problem of the plan.
+fn hash_partition_inputs<'a>(
+    bindings: &[(&'a str, &Relation)],
+    buckets: usize,
+) -> Result<Vec<Vec<(&'a str, Relation)>>> {
+    let mut slots: Vec<Vec<(&str, Relation)>> = vec![Vec::new(); buckets];
+    for (name, rel) in bindings {
+        let mut per_bucket: Vec<Vec<u64>> = vec![Vec::new(); buckets];
+        for t in rel.iter() {
+            per_bucket[bucket_of(t[0], buckets)].extend_from_slice(t);
+        }
+        for (slot, words) in slots.iter_mut().zip(per_bucket) {
+            // A bucket is a subsequence of an already-canonical relation,
+            // so it is still sorted.
+            slot.push((
+                name,
+                Relation::from_sorted_words(rel.schema().clone(), words)?,
+            ));
+        }
+    }
+    Ok(slots)
+}
+
+/// Accumulated results of the per-chunk execution loop, before the
+/// strategy-specific output assembly.
+struct ChunkRun {
+    outputs: std::collections::BTreeMap<NodeId, Vec<u64>>,
+    schemas: std::collections::BTreeMap<NodeId, Schema>,
+    gpu_seconds: f64,
+    pcie_seconds: f64,
+    residual_pcie_seconds: f64,
+    serialized_seconds: f64,
+    pipelined_seconds: f64,
+    executed: usize,
+    peak_device_bytes: u64,
+}
+
+impl ChunkRun {
+    fn into_report(
+        self,
+        outputs: std::collections::BTreeMap<NodeId, Relation>,
+        strategy: ChunkStrategy,
+    ) -> ChunkedReport {
+        ChunkedReport {
+            outputs,
+            gpu_seconds: self.gpu_seconds,
+            pcie_seconds: self.pcie_seconds,
+            residual_pcie_seconds: self.residual_pcie_seconds,
+            serialized_seconds: self.serialized_seconds,
+            pipelined_seconds: self.pipelined_seconds,
+            chunks: self.executed,
+            strategy,
+            peak_device_bytes: self.peak_device_bytes,
+        }
+    }
+}
+
+/// Concatenate per-chunk output words into canonical relations (row slices
+/// concatenate in key order; hash buckets are disjoint, and `from_words`
+/// restores the canonical sort).
+fn finish_concat(mut run: ChunkRun, strategy: ChunkStrategy) -> Result<ChunkedReport> {
+    let outputs = std::mem::take(&mut run.outputs)
+        .into_iter()
+        .map(|(node, words)| {
+            let schema = run.schemas[&node].clone();
+            Ok((node, Relation::from_words(schema, words)?))
+        })
+        .collect::<Result<_>>()?;
+    Ok(run.into_report(outputs, strategy))
+}
+
+/// Execute each chunk slot on a scratch device to get its isolated costs,
+/// then replay the chunk's traffic and compute on the user's device as real
+/// streamed operations: one stream per chunk, uploads on the H2D copy
+/// engine, the chunk's kernels as one compute span, downloads on the D2H
+/// engine. The stream scheduler — not a side formula — decides how much of
+/// the traffic hides behind compute. Slots whose every input is empty are
+/// skipped outright (no relational operator produces rows from empty
+/// inputs).
+fn run_chunks(
+    plan: &QueryPlan,
+    compiled: &CompiledPlan,
+    slots: &[Vec<(&str, Relation)>],
+    device: &mut Device,
+    config: &WeaverConfig,
+) -> Result<ChunkRun> {
     let base_cycles = device.sync_streams();
     let mut outputs: std::collections::BTreeMap<NodeId, Vec<u64>> = Default::default();
-    let mut out_schemas: std::collections::BTreeMap<NodeId, kw_relational::Schema> =
-        Default::default();
+    let mut schemas: std::collections::BTreeMap<NodeId, Schema> = Default::default();
+    // Prepopulate so skipped slots still leave every marked output present
+    // (as an empty relation) in the assembled report.
+    for &o in plan.outputs() {
+        outputs.entry(o).or_default();
+        schemas.entry(o).or_insert_with(|| plan.schema(o).clone());
+    }
 
+    let mut executed = 0usize;
     let mut peak_device_bytes = 0u64;
     let mut serialized_cycles = 0u64;
     let mut total_gpu_cycles = 0u64;
     let mut pcie_seconds = 0.0f64;
-    for (chunk_idx, chunk) in chunked_inputs.iter().enumerate() {
+    let mut residual_pcie_seconds = 0.0f64;
+    for (chunk_idx, chunk) in slots.iter().enumerate() {
+        if chunk.iter().all(|(_, r)| r.is_empty()) {
+            continue;
+        }
+        executed += 1;
         let refs: Vec<(&str, &Relation)> = chunk.iter().map(|(n, r)| (*n, r)).collect();
         // fork_scratch carries the parent's fault rates on a derived stream,
         // so injected faults keep striking inside chunk execution too.
@@ -154,8 +324,11 @@ pub fn execute_chunked_compiled(
         let d2h = kw_gpu_sim::pcie_seconds(device.config(), out_bytes);
         // Transfers of *intermediates* (staged mode's round trips) serialize
         // with the computation that produces/consumes them — they belong to
-        // the middle pipeline stage, not to the overlappable edges.
+        // the middle pipeline stage, not to the overlappable edges — so
+        // their duration folds into the compute span while their seconds
+        // are surfaced separately as `residual_pcie_seconds`.
         let residual = (report.pcie_seconds - h2d - d2h).max(0.0);
+        residual_pcie_seconds += residual;
         let scratch_stats = *scratch.stats();
         let mid_cycles = scratch_stats
             .gpu_cycles
@@ -227,9 +400,7 @@ pub fn execute_chunked_compiled(
                 .entry(node)
                 .or_default()
                 .extend_from_slice(rel.words());
-            out_schemas
-                .entry(node)
-                .or_insert_with(|| rel.schema().clone());
+            schemas.entry(node).or_insert_with(|| rel.schema().clone());
         }
     }
 
@@ -243,21 +414,15 @@ pub fn execute_chunked_compiled(
     let serialized = device.config().cycles_to_seconds(serialized_cycles);
     let gpu_seconds = device.config().cycles_to_seconds(total_gpu_cycles);
 
-    let outputs = outputs
-        .into_iter()
-        .map(|(node, words)| {
-            let schema = out_schemas.remove(&node).expect("schema recorded");
-            Ok((node, Relation::from_words(schema, words)?))
-        })
-        .collect::<Result<_>>()?;
-
-    Ok(ChunkedReport {
+    Ok(ChunkRun {
         outputs,
+        schemas,
         gpu_seconds,
         pcie_seconds,
+        residual_pcie_seconds,
         serialized_seconds: serialized,
         pipelined_seconds: pipelined,
-        chunks,
+        executed,
         peak_device_bytes,
     })
 }
@@ -291,6 +456,7 @@ mod tests {
     use super::*;
     use kw_gpu_sim::DeviceConfig;
     use kw_primitives::RaOp;
+    use kw_relational::ops::AggFn;
     use kw_relational::{gen, ops, CmpOp, Predicate, Value};
 
     fn elementwise_plan(schema: kw_relational::Schema) -> (QueryPlan, NodeId) {
@@ -315,6 +481,15 @@ mod tests {
             .unwrap();
         plan.mark_output(p);
         (plan, p)
+    }
+
+    fn join_plan(l: &kw_relational::Relation, r: &kw_relational::Relation) -> (QueryPlan, NodeId) {
+        let mut plan = QueryPlan::new();
+        let na = plan.add_input("a", l.schema().clone());
+        let nb = plan.add_input("b", r.schema().clone());
+        let j = plan.add_op(RaOp::Join { key_len: 1 }, &[na, nb]).unwrap();
+        plan.mark_output(j);
+        (plan, j)
     }
 
     #[test]
@@ -342,6 +517,7 @@ mod tests {
         .unwrap();
         assert_eq!(report.outputs[&out], oracle);
         assert_eq!(report.chunks, 7);
+        assert_eq!(report.strategy, ChunkStrategy::RowSlice);
     }
 
     #[test]
@@ -441,24 +617,118 @@ mod tests {
     }
 
     #[test]
-    fn cta_dependent_plans_rejected() {
-        let (a, b) = gen::join_inputs(1_000, 2, 0.5, 23);
-        let mut plan = QueryPlan::new();
-        let na = plan.add_input("a", a.schema().clone());
-        let nb = plan.add_input("b", b.schema().clone());
-        let j = plan.add_op(RaOp::Join { key_len: 1 }, &[na, nb]).unwrap();
-        plan.mark_output(j);
-        assert!(!is_elementwise(&plan));
+    fn reported_chunks_equal_executed_chunks() {
+        // Requesting far more chunks than the input has rows must clamp:
+        // no zero-row scratch forks, no zero-cycle compute spans.
+        let input = gen::micro_input(5, 26);
+        let (plan, _) = elementwise_plan(input.schema().clone());
         let mut dev = Device::new(DeviceConfig::fermi_c2050());
-        let err = execute_chunked(
+        let report = execute_chunked(
+            &plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+            64,
+        )
+        .unwrap();
+        assert_eq!(report.chunks, 5, "64 requested chunks clamp to 5 rows");
+        assert_eq!(
+            dev.stats().h2d_transfers as usize,
+            report.chunks,
+            "chunks_reported == chunks_executed"
+        );
+
+        // A fully-empty input executes zero chunks and still reports every
+        // marked output (empty).
+        let empty = kw_relational::Relation::empty(input.schema().clone());
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        let report = execute_chunked(
+            &plan,
+            &[("t", &empty)],
+            &mut dev,
+            &WeaverConfig::default(),
+            8,
+        )
+        .unwrap();
+        assert_eq!(report.chunks, 0);
+        assert_eq!(dev.stats().kernel_launches, 0, "no work for no rows");
+        assert_eq!(report.outputs.len(), 1);
+        assert!(report.outputs.values().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn joins_chunk_via_hash_partitioning() {
+        let (a, b) = gen::join_inputs(8_000, 2, 0.5, 23);
+        let (plan, out) = join_plan(&a, &b);
+        assert!(!is_elementwise(&plan));
+        let oracle = ops::join(&a, &b, 1).unwrap();
+
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        let report = execute_chunked(
             &plan,
             &[("a", &a), ("b", &b)],
             &mut dev,
             &WeaverConfig::default(),
             4,
         )
+        .unwrap();
+        assert_eq!(report.strategy, ChunkStrategy::HashPartition);
+        assert_eq!(report.outputs[&out], oracle, "bucket concat == resident");
+        assert!(report.chunks >= 2 && report.chunks <= 4);
+        kw_gpu_sim::reconcile(dev.spans(), dev.stats()).unwrap();
+    }
+
+    #[test]
+    fn final_aggregate_chunks_via_partial_merge() {
+        let input = gen::micro_input(20_000, 27);
+        let mut plan = QueryPlan::new();
+        let t = plan.add_input("t", input.schema().clone());
+        let a = plan
+            .add_op(
+                RaOp::Aggregate {
+                    group_by: vec![0],
+                    aggs: vec![AggFn::Sum(1), AggFn::Count, AggFn::Avg(2)],
+                },
+                &[t],
+            )
+            .unwrap();
+        plan.mark_output(a);
+        let oracle =
+            ops::aggregate(&input, &[0], &[AggFn::Sum(1), AggFn::Count, AggFn::Avg(2)]).unwrap();
+
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        let report = execute_chunked(
+            &plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+            6,
+        )
+        .unwrap();
+        assert_eq!(report.strategy, ChunkStrategy::PartialAggregate);
+        assert_eq!(report.outputs[&a], oracle, "merged partials == resident");
+        assert_eq!(report.chunks, 6);
+        kw_gpu_sim::reconcile(dev.spans(), dev.stats()).unwrap();
+    }
+
+    #[test]
+    fn non_partitionable_plans_rejected() {
+        let input = gen::micro_input(1_000, 23);
+        let mut plan = QueryPlan::new();
+        let t = plan.add_input("t", input.schema().clone());
+        let s = plan.add_op(RaOp::Sort { attrs: vec![1] }, &[t]).unwrap();
+        plan.mark_output(s);
+        assert!(select_chunk_strategy(&plan).is_none());
+        let mut dev = Device::new(DeviceConfig::fermi_c2050());
+        let err = execute_chunked(
+            &plan,
+            &[("t", &input)],
+            &mut dev,
+            &WeaverConfig::default(),
+            4,
+        )
         .unwrap_err();
-        assert!(err.to_string().contains("elementwise"));
+        assert!(err.to_string().contains("partitionable"));
     }
 
     #[test]

@@ -6,8 +6,11 @@ use std::fmt;
 /// rungs: the typed reason behind a [`WeaverError::LadderExhausted`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LadderStop {
-    /// The plan is not elementwise, so no chunked rung exists below Staged
-    /// (row-streaming would change non-streaming operators' answers).
+    /// The plan admits no chunk strategy — it is neither row-sliceable
+    /// (elementwise), hash-partitionable (key-matching operators only), nor
+    /// merge-aggregable (a final associative aggregate) — so no chunked
+    /// rung exists below Staged. Genuinely non-partitionable plans (e.g. a
+    /// full SORT, a cross PRODUCT) land here.
     NonElementwiseBlocksChunking,
     /// Doubling the chunk count again would exceed
     /// [`crate::admission::MAX_CHUNKS`].
@@ -20,7 +23,8 @@ impl fmt::Display for LadderStop {
             LadderStop::NonElementwiseBlocksChunking => {
                 write!(
                     f,
-                    "plan is not elementwise so chunked streaming is unavailable"
+                    "plan admits no chunk strategy (not row-sliceable, hash-partitionable, or \
+                     merge-aggregable) so chunked streaming is unavailable"
                 )
             }
             LadderStop::MaxChunksExceeded => write!(f, "chunk-count ceiling reached"),
@@ -190,7 +194,7 @@ mod tests {
         assert!(stop.to_string().contains("oom at 1024"));
         let stop =
             WeaverError::ladder_exhausted(LadderStop::NonElementwiseBlocksChunking, "oom staged");
-        assert!(stop.to_string().contains("not elementwise"));
+        assert!(stop.to_string().contains("no chunk strategy"));
         assert!(!stop.is_transient() && !stop.is_capacity());
     }
 

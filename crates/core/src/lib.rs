@@ -55,6 +55,7 @@
 
 mod admission;
 mod candidates;
+mod chunk_strategy;
 mod chunked;
 mod compile;
 mod dot;
@@ -75,6 +76,7 @@ pub use admission::{
 pub use candidates::{
     find_candidates, is_input_node, is_weavable, kernel_boundaries, FusionOptions,
 };
+pub use chunk_strategy::{select_chunk_strategy, ChunkStrategy};
 pub use chunked::{
     execute_chunked, execute_chunked_compiled, is_elementwise, pipeline_makespan, ChunkedReport,
 };

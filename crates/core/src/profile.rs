@@ -167,8 +167,25 @@ impl ProfileReport {
         config: &DeviceConfig,
         wall_seconds: f64,
     ) -> ProfileReport {
+        ProfileReport::from_spans_with_residual(spans, stats, config, wall_seconds, 0.0)
+    }
+
+    /// [`ProfileReport::from_spans`] plus transfer seconds the span log
+    /// cannot carry: a chunked run folds staged-intermediate round trips
+    /// into its compute spans (a compute span's stat delta must be
+    /// compute-only), so the resilient driver passes those *residual* PCIe
+    /// seconds here and the run-level link-busy figures and bottleneck
+    /// verdict count them. Per-operator rows still attribute boundary
+    /// transfers only — the residual is not attributable to a single frame.
+    pub fn from_spans_with_residual(
+        spans: &[Span],
+        stats: &SimStats,
+        config: &DeviceConfig,
+        wall_seconds: f64,
+        residual_pcie_seconds: f64,
+    ) -> ProfileReport {
         let gpu_busy_seconds = config.cycles_to_seconds(stats.gpu_cycles);
-        let pcie_busy_seconds = stats.pcie_seconds;
+        let pcie_busy_seconds = stats.pcie_seconds + residual_pcie_seconds;
         let other_cycles = stats
             .gpu_cycles
             .saturating_sub(stats.launch_cycles + stats.global_access_cycles);
@@ -505,6 +522,30 @@ mod tests {
         validate_json(&json).expect("annotated profile JSON parses");
         assert!(json.contains("\"outcome\": \"retried\""));
         assert!(p.summary().contains("[retried]"));
+    }
+
+    #[test]
+    fn residual_transfer_seconds_count_toward_the_link() {
+        // A chunked run's staged-intermediate round trips are invisible to
+        // the span log (folded into compute spans); the residual-aware
+        // constructor must still charge them to the PCIe busy figures and
+        // let them flip the run-level verdict to transfer-bound.
+        let config = kw_gpu_sim::DeviceConfig::fermi_c2050();
+        let stats = SimStats {
+            kernel_launches: 1,
+            launch_cycles: 10,
+            global_access_cycles: 900_000,
+            gpu_cycles: 1_000_000,
+            pcie_seconds: 1e-6,
+            ..SimStats::default()
+        };
+        let wall = config.cycles_to_seconds(stats.gpu_cycles) + 1e-3;
+        let without = ProfileReport::from_spans(&[], &stats, &config, wall);
+        let with = ProfileReport::from_spans_with_residual(&[], &stats, &config, wall, 1e-3);
+        assert!((with.pcie_busy_seconds - (without.pcie_busy_seconds + 1e-3)).abs() < 1e-15);
+        assert!(with.pcie_busy_fraction > without.pcie_busy_fraction);
+        assert_eq!(without.bottleneck, Bottleneck::Memory);
+        assert_eq!(with.bottleneck, Bottleneck::Transfer);
     }
 
     #[test]

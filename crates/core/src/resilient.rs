@@ -12,7 +12,8 @@
 //!    to the device timeline so reports stay honest about elapsed time.
 //! 3. **Degradation** — a mid-run capacity miss (admission under-estimated)
 //!    drops one rung: Resident → Staged → Chunked(c) → Chunked(2c), chunked
-//!    rungs only for elementwise plans and only up to
+//!    rungs only for plans with a [`crate::ChunkStrategy`] (row-sliceable,
+//!    hash-partitionable, or merge-aggregable) and only up to
 //!    [`crate::admission::MAX_CHUNKS`].
 //!
 //! Every completed run carries a [`ResilienceReport`] in
@@ -23,7 +24,8 @@ use kw_gpu_sim::Device;
 use kw_relational::Relation;
 
 use crate::admission::{admit, AdmissionReport, AdmittedMode, MAX_CHUNKS};
-use crate::chunked::{execute_chunked_compiled, is_elementwise};
+use crate::chunk_strategy::select_chunk_strategy;
+use crate::chunked::execute_chunked_compiled;
 use crate::error::LadderStop;
 use crate::{compile, CompiledPlan, ExecMode, PlanReport, QueryPlan, Result, WeaverConfig};
 
@@ -188,15 +190,22 @@ pub fn execute_compiled_resilient(
                     // structural `serialized >= pipelined` (pinned by
                     // `retried_chunked_run_keeps_wallclocks_ordered`).
                     PlanReport {
-                        profile: crate::ProfileReport::from_spans(
+                        // The chunked report splits boundary transfers from
+                        // the staged-intermediate residual; a plan-level
+                        // report's `pcie_seconds` means *all* transfer time
+                        // (as in resident/staged runs), so recombine, and
+                        // let the profiler count the residual the span log
+                        // cannot carry.
+                        profile: crate::ProfileReport::from_spans_with_residual(
                             device.spans(),
                             device.stats(),
                             device.config(),
                             r.pipelined_seconds + backoff_seconds,
+                            r.residual_pcie_seconds,
                         ),
                         outputs: r.outputs,
                         gpu_seconds: r.gpu_seconds,
-                        pcie_seconds: r.pcie_seconds,
+                        pcie_seconds: r.pcie_seconds + r.residual_pcie_seconds,
                         total_seconds: r.pipelined_seconds + backoff_seconds,
                         serialized_seconds: r.serialized_seconds + backoff_seconds,
                         pipelined_seconds: Some(r.pipelined_seconds),
@@ -271,7 +280,7 @@ fn next_rung(
     match mode {
         AdmittedMode::Resident => Ok(AdmittedMode::Staged),
         AdmittedMode::Staged => {
-            if is_elementwise(plan) {
+            if select_chunk_strategy(plan).is_some() {
                 Ok(AdmittedMode::Chunked { chunks: 2 })
             } else {
                 Err(LadderStop::NonElementwiseBlocksChunking)
@@ -470,6 +479,8 @@ mod tests {
             Err(LadderStop::MaxChunksExceeded)
         );
 
+        // A join is no longer a ladder stop: hash partitioning gives it a
+        // chunked rung.
         let (l, r) = gen::join_inputs(16, 2, 0.5, 38);
         let mut joiny = QueryPlan::new();
         let x = joiny.add_input("x", l.schema().clone());
@@ -478,27 +489,75 @@ mod tests {
         joiny.mark_output(j);
         assert_eq!(
             next_rung(AdmittedMode::Staged, &joiny),
+            Ok(AdmittedMode::Chunked { chunks: 2 })
+        );
+
+        // A full sort genuinely cannot chunk: the typed stop remains.
+        let mut sorty = QueryPlan::new();
+        let t = sorty.add_input("t", input.schema().clone());
+        let s = sorty.add_op(RaOp::Sort { attrs: vec![1] }, &[t]).unwrap();
+        sorty.mark_output(s);
+        assert_eq!(
+            next_rung(AdmittedMode::Staged, &sorty),
             Err(LadderStop::NonElementwiseBlocksChunking)
         );
     }
 
     #[test]
-    fn non_elementwise_plan_on_hopeless_device_fails_typed() {
-        let (l, r) = gen::join_inputs(200_000, 2, 0.5, 35);
+    fn non_partitionable_plan_on_hopeless_device_fails_typed() {
+        // A full sort has no chunk strategy, so a device below its staged
+        // footprint rejects it at admission with the no-strategy detail.
+        let input = gen::micro_input(200_000, 35);
         let mut plan = QueryPlan::new();
-        let x = plan.add_input("x", l.schema().clone());
-        let y = plan.add_input("y", r.schema().clone());
-        let j = plan.add_op(RaOp::Join { key_len: 1 }, &[x, y]).unwrap();
-        plan.mark_output(j);
+        let t = plan.add_input("t", input.schema().clone());
+        let s = plan.add_op(RaOp::Sort { attrs: vec![1] }, &[t]).unwrap();
+        plan.mark_output(s);
         let mut dev = Device::new(DeviceConfig::tiny());
         let err = execute_resilient(
             &plan,
-            &[("x", &l), ("y", &r)],
+            &[("t", &input)],
             &mut dev,
             &WeaverConfig::default(),
             &RetryPolicy::default(),
         )
         .unwrap_err();
         assert!(matches!(err, WeaverError::Admission { .. }), "{err}");
+        assert!(err.to_string().contains("no chunk strategy"), "{err}");
+    }
+
+    #[test]
+    fn oversized_join_degrades_to_hash_partitioned_chunks() {
+        // A join whose inputs exceed the device now completes through the
+        // ladder via hash-partitioned chunking, byte-identical to resident
+        // execution on an oversized device.
+        let (l, r) = gen::join_inputs(60_000, 2, 0.5, 39);
+        let mut plan = QueryPlan::new();
+        let x = plan.add_input("x", l.schema().clone());
+        let y = plan.add_input("y", r.schema().clone());
+        let j = plan.add_op(RaOp::Join { key_len: 1 }, &[x, y]).unwrap();
+        plan.mark_output(j);
+        let oracle = kw_relational::ops::join(&l, &r, 1).unwrap();
+
+        let mut dev = Device::new(DeviceConfig::tiny());
+        let report = execute_resilient(
+            &plan,
+            &[("x", &l), ("y", &r)],
+            &mut dev,
+            &WeaverConfig::default(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(report.outputs[&j], oracle);
+        let res = report.resilience.as_ref().unwrap();
+        assert!(
+            matches!(res.final_mode, AdmittedMode::Chunked { .. }),
+            "{:?}",
+            res.final_mode
+        );
+        assert_eq!(
+            res.admission.strategy,
+            Some(crate::ChunkStrategy::HashPartition)
+        );
+        assert_eq!(dev.memory().in_use(), 0);
     }
 }

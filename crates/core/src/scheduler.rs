@@ -50,7 +50,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use kw_gpu_sim::{
-    BufferId, Device, Direction, EventId, Histogram, SimStats, Span, SpanKind, StreamId, StreamOp,
+    BufferId, Device, Direction, EventId, SimStats, Span, SpanKind, StreamId, StreamOp,
 };
 use kw_relational::Relation;
 
@@ -177,15 +177,16 @@ pub struct BatchReport {
     pub goodput_qps: f64,
     /// Number of admission waves that actually issued work.
     pub waves: usize,
-    /// Median per-query latency over successful queries, from the
-    /// log-bucketed latency histogram (the quantile resolves to its
-    /// bucket's upper bound, so deterministic and byte-stable; 0 for an
-    /// empty batch).
+    /// Median per-query latency over successful queries: the exact
+    /// nearest-rank order statistic of the observed latencies (0 when no
+    /// query succeeded). The log-bucketed latency histogram still feeds
+    /// the metrics registry (`kw_batch_query_latency_cycles`), but the
+    /// report quotes real percentiles, not power-of-two bucket bounds.
     pub latency_p50_seconds: f64,
-    /// 95th-percentile per-query latency (same histogram; an upper bound
-    /// on the true p95 within its power-of-two bucket).
+    /// Exact 95th-percentile per-query latency (nearest rank — always one
+    /// of the observed latencies).
     pub latency_p95_seconds: f64,
-    /// 99th-percentile per-query latency (same histogram).
+    /// Exact 99th-percentile per-query latency (nearest rank).
     pub latency_p99_seconds: f64,
     /// Busy seconds per hardware engine over this batch's window, keyed by
     /// engine name (`compute{i}`, `copy.h2d`, `copy.d2h`).
@@ -801,7 +802,7 @@ pub fn execute_batch_with_policy(
     let batch_ops: Vec<StreamOp> = device.streams().ops()[ops_before..].to_vec();
 
     let mut reports = Vec::with_capacity(queries.len());
-    let mut latency_hist = Histogram::default();
+    let mut latencies: Vec<u64> = Vec::new();
     for (qi, q) in queries.iter().enumerate() {
         let outcome = if let Some(reason) = failed[qi].take() {
             QueryOutcome::Failed { reason }
@@ -860,7 +861,7 @@ pub fn execute_batch_with_policy(
             };
 
         if outcome.is_success() {
-            latency_hist.observe(latency_cycles);
+            latencies.push(latency_cycles);
             device
                 .metrics_mut()
                 .observe("kw_batch_query_latency_cycles", latency_cycles);
@@ -953,6 +954,22 @@ pub fn execute_batch_with_policy(
         .collect();
     profile.annotate_outcomes(&outcome_labels);
 
+    // Exact nearest-rank percentiles over the successful queries' observed
+    // latencies. The log-bucketed histogram still backs the metrics
+    // registry (`kw_batch_query_latency_cycles` above) for cheap streaming
+    // monitoring; the report quotes the true order statistics so a
+    // quoted p95 is always one of the actual latencies, not a
+    // power-of-two bucket's upper bound.
+    latencies.sort_unstable();
+    let latency_at = |q: f64| -> f64 {
+        let n = latencies.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        device.config().cycles_to_seconds(latencies[rank - 1])
+    };
+
     Ok(BatchReport {
         queries: reports,
         makespan_seconds,
@@ -960,15 +977,9 @@ pub fn execute_batch_with_policy(
         throughput_qps,
         goodput_qps,
         waves: waves_issued,
-        latency_p50_seconds: device
-            .config()
-            .cycles_to_seconds(latency_hist.quantile(0.50)),
-        latency_p95_seconds: device
-            .config()
-            .cycles_to_seconds(latency_hist.quantile(0.95)),
-        latency_p99_seconds: device
-            .config()
-            .cycles_to_seconds(latency_hist.quantile(0.99)),
+        latency_p50_seconds: latency_at(0.50),
+        latency_p95_seconds: latency_at(0.95),
+        latency_p99_seconds: latency_at(0.99),
         engine_busy_seconds,
         engine_utilization,
         profile,

@@ -1,0 +1,143 @@
+//! CI gate for the out-of-core chunking campaign's JSON export.
+//!
+//! Re-parses `bench_results/BENCH_out_of_core.json` (hand-rolled JSON, so
+//! a writer bug shows up as a syntax error here), verifies the keys the
+//! regression gate consumes, and checks the campaign's structural
+//! invariants row by row:
+//!
+//! * every row's device is strictly smaller than its input footprint —
+//!   otherwise the run never left core and the numbers measure nothing;
+//! * every row chunked (`chunks >= 2`) under a named strategy;
+//! * fused and unfused times are positive and `fusion_gain` is their
+//!   ratio.
+//!
+//! ```bash
+//! cargo run -p kw-examples --example out_of_core_check [path/to/file.json]
+//! ```
+
+use kw_gpu_sim::{parse_json, validate_json, JsonValue};
+
+/// Keys the bench_regression gate and EXPERIMENTS.md consume.
+const REQUIRED_KEYS: [&str; 10] = [
+    "\"experiment\"",
+    "\"tuples_per_input\"",
+    "\"rows\"",
+    "\"pattern\"",
+    "\"strategy\"",
+    "\"input_bytes\"",
+    "\"device_bytes\"",
+    "\"chunks\"",
+    "\"fused_seconds\"",
+    "\"fusion_gain\"",
+];
+
+/// Strategies the chunk-strategy layer can select.
+const STRATEGIES: [&str; 3] = ["row-slice", "hash-partition", "partial-aggregate"];
+
+fn check_json(path: &str) -> u32 {
+    let mut failures = 0;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("INVALID: cannot read {path}: {e}");
+            eprintln!("(run `cargo run -p kw-bench --bin paper_tables -- out_of_core` first)");
+            return 1;
+        }
+    };
+    match validate_json(&text) {
+        Ok(()) => println!("{path}: well-formed JSON ({} bytes)", text.len()),
+        Err(e) => {
+            eprintln!("INVALID: {path} does not parse: {e}");
+            failures += 1;
+        }
+    }
+    for key in REQUIRED_KEYS {
+        if !text.contains(key) {
+            eprintln!("INVALID: {path} is missing required key {key}");
+            failures += 1;
+        }
+    }
+
+    let doc = match parse_json(&text) {
+        Ok(d) => d,
+        Err(_) => return failures.max(1),
+    };
+    let Some(JsonValue::Array(rows)) = doc.get("rows") else {
+        eprintln!("INVALID: {path} has no rows array");
+        return failures + 1;
+    };
+    if rows.is_empty() {
+        eprintln!("INVALID: {path} has an empty rows array");
+        failures += 1;
+    }
+    let num = |row: &JsonValue, key: &str| -> Option<f64> {
+        match row.get(key) {
+            Some(JsonValue::Number(v)) => Some(*v),
+            _ => None,
+        }
+    };
+    for (i, row) in rows.iter().enumerate() {
+        match row.get("strategy") {
+            Some(JsonValue::Str(s)) if STRATEGIES.contains(&s.as_str()) => {}
+            other => {
+                eprintln!("INVALID: rows[{i}] has no known strategy: {other:?}");
+                failures += 1;
+            }
+        }
+        match (num(row, "input_bytes"), num(row, "device_bytes")) {
+            (Some(input), Some(device)) if device < input => {}
+            (input, device) => {
+                eprintln!(
+                    "INVALID: rows[{i}] device ({device:?} B) must be below its \
+                     inputs ({input:?} B) for an out-of-core claim"
+                );
+                failures += 1;
+            }
+        }
+        match num(row, "chunks") {
+            Some(c) if c >= 2.0 => {}
+            other => {
+                eprintln!("INVALID: rows[{i}] must chunk (chunks >= 2), got {other:?}");
+                failures += 1;
+            }
+        }
+        let fused = num(row, "fused_seconds");
+        let unfused = num(row, "unfused_seconds");
+        let gain = num(row, "fusion_gain");
+        match (fused, unfused, gain) {
+            (Some(f), Some(u), Some(g)) if f > 0.0 && u > 0.0 => {
+                if (g - u / f).abs() > 1e-9 * g.abs().max(1.0) {
+                    eprintln!(
+                        "INVALID: rows[{i}] fusion_gain {g} is not unfused/fused = {}",
+                        u / f
+                    );
+                    failures += 1;
+                }
+            }
+            _ => {
+                eprintln!(
+                    "INVALID: rows[{i}] needs positive fused/unfused seconds and a \
+                     fusion_gain, got {fused:?}/{unfused:?}/{gain:?}"
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!(
+            "{path}: all {} required keys present, {} rows out-of-core-consistent",
+            REQUIRED_KEYS.len(),
+            rows.len()
+        );
+    }
+    failures
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bench_results/BENCH_out_of_core.json".into());
+    if check_json(&path) > 0 {
+        std::process::exit(1);
+    }
+}

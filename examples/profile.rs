@@ -100,7 +100,7 @@ fn main() {
         }
     }
 
-    // --- Batch: latency percentiles come from the histogram layer. ---
+    // --- Batch: exact nearest-rank latency percentiles. ---
     let workloads: Vec<_> = [Pattern::A, Pattern::D, Pattern::E, Pattern::A]
         .iter()
         .enumerate()

@@ -292,15 +292,16 @@ fn scripted_fault_costs_exactly_one_retry() {
     assert_eq!(dev.memory().in_use(), 0);
 }
 
-/// An all-equal-key self-join whose output is quadratic in its input: the
-/// admission estimator (which sizes joins at `max(left, right)` rows)
-/// under-predicts it, so the plan is admitted and then hits a *mid-run*
-/// capacity miss that no ladder rung can absorb — joins are not
-/// elementwise, so there is no Chunked rung below Staged.
-fn exploding_join(n: usize) -> (QueryPlan, Relation) {
+/// A self-join over `keys` distinct key values, `n` rows total, whose
+/// output is quadratic per key group: the admission estimator (which sizes
+/// joins at `max(left, right)` rows) under-predicts it, so the plan is
+/// admitted and then hits a *mid-run* capacity miss that only the
+/// hash-partitioned Chunked rung can absorb — and only if the keys
+/// actually spread across buckets.
+fn exploding_join(n: usize, keys: u32) -> (QueryPlan, Relation) {
     let schema = Schema::uniform_u32(2);
     let rows: Vec<Vec<Value>> = (0..n)
-        .map(|i| vec![Value::U32(7), Value::U32(i as u32)])
+        .map(|i| vec![Value::U32(i as u32 % keys), Value::U32(i as u32)])
         .collect();
     let input = Relation::from_rows(schema.clone(), &rows).unwrap();
     let mut plan = QueryPlan::new();
@@ -310,14 +311,16 @@ fn exploding_join(n: usize) -> (QueryPlan, Relation) {
     (plan, input)
 }
 
-/// Ladder exhaustion is a *typed* verdict: the resilient driver reports
-/// `NonElementwiseBlocksChunking` when a join blows past the device
-/// mid-run and no rung below Staged exists — not a bare capacity error.
+/// Ladder exhaustion is a *typed* verdict: with every key identical, hash
+/// partitioning puts the whole input into one bucket at any chunk count,
+/// so the ladder doubles chunks until the `MaxChunksExceeded` ceiling —
+/// not a bare capacity error, and not a wrong answer.
 #[test]
 fn exploding_join_exhausts_ladder_with_typed_reason() {
     // 1024 all-equal keys: 8 KiB of input sails through admission, but the
-    // 1 Mi-row join output cannot fit the 1 MiB device in any mode.
-    let (plan, input) = exploding_join(1024);
+    // 1 Mi-row join output cannot fit the 1 MiB device in any mode, and
+    // one key means one bucket no matter how many chunks the ladder tries.
+    let (plan, input) = exploding_join(1024, 1);
     let mut dev = Device::new(DeviceConfig::tiny());
     let err = execute_resilient(
         &plan,
@@ -329,11 +332,11 @@ fn exploding_join_exhausts_ladder_with_typed_reason() {
     .unwrap_err();
     match &err {
         WeaverError::LadderExhausted { stop, .. } => {
-            assert_eq!(*stop, LadderStop::NonElementwiseBlocksChunking, "{err}");
+            assert_eq!(*stop, LadderStop::MaxChunksExceeded, "{err}");
         }
         other => panic!("expected LadderExhausted, got {other}"),
     }
-    assert!(err.to_string().contains("not elementwise"), "{err}");
+    assert!(err.to_string().contains("chunk-count ceiling"), "{err}");
     assert_eq!(
         dev.memory().in_use(),
         0,
@@ -341,12 +344,79 @@ fn exploding_join_exhausts_ladder_with_typed_reason() {
     );
 }
 
+/// A genuinely non-partitionable plan (full SORT) over capacity is the one
+/// case that still lands on `NonElementwiseBlocksChunking`: there is no
+/// chunk strategy, so no rung exists below Staged.
+#[test]
+fn oversized_sort_exhausts_ladder_with_no_chunk_strategy() {
+    let input = gen::micro_input(131_072, 3);
+    let mut plan = QueryPlan::new();
+    let t = plan.add_input("t", input.schema().clone());
+    let s = plan.add_op(RaOp::Sort { attrs: vec![0] }, &[t]).unwrap();
+    plan.mark_output(s);
+    let mut dev = Device::new(DeviceConfig::tiny());
+    let err = execute_resilient(
+        &plan,
+        &[("t", &input)],
+        &mut dev,
+        &WeaverConfig::default(),
+        &RetryPolicy::default(),
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    match &err {
+        WeaverError::LadderExhausted { stop, .. } => {
+            assert_eq!(*stop, LadderStop::NonElementwiseBlocksChunking, "{err}");
+            assert!(msg.contains("no chunk strategy"), "{msg}");
+        }
+        // Admission may already prove no mode fits before the first run.
+        WeaverError::Admission { detail } => {
+            assert!(detail.contains("no chunk strategy"), "{detail}");
+        }
+        other => panic!("expected a typed no-strategy verdict, got {other}"),
+    }
+    assert_eq!(dev.memory().in_use(), 0, "error path leaked device memory");
+}
+
+/// With distinct keys the same mid-run explosion is *survivable*: the
+/// ladder lands on hash-partitioned chunking, doubles the bucket count
+/// until each bucket pair fits the 1 MiB device, and the answer is
+/// byte-identical to the relational oracle.
+#[test]
+fn exploding_join_completes_via_hash_partitioned_chunks() {
+    // 4096 rows over 64 keys: admission predicts a 4096-row join output,
+    // but 64 rows per key explode to 64 * 64² = 262_144 output rows
+    // (~6 MiB) — far past the 1 MiB device until partitioning splits the
+    // key groups across buckets.
+    let (plan, input) = exploding_join(4096, 64);
+    let oracle = kw_relational::ops::join(&input, &input, 1).unwrap();
+
+    let mut dev = Device::new(DeviceConfig::tiny());
+    let report = execute_resilient(
+        &plan,
+        &[("t", &input)],
+        &mut dev,
+        &WeaverConfig::default(),
+        &RetryPolicy::default(),
+    )
+    .expect("exploding join should survive via hash partitioning");
+
+    let out = report.outputs.values().next().unwrap();
+    assert_eq!(out, &oracle, "partitioned join changed the answer");
+    let res = report.resilience.as_ref().unwrap();
+    assert!(
+        matches!(res.final_mode, AdmittedMode::Chunked { chunks } if chunks >= 2),
+        "{res:?}"
+    );
+    assert_eq!(dev.memory().in_use(), 0, "partitioned run leaked memory");
+}
+
 /// The same exploding join inside a batch quarantines only itself: the
 /// batch completes, the join reports `Failed` with the ladder-exhaustion
 /// reason, and its neighbors' answers are untouched.
 #[test]
 fn exploding_join_in_batch_quarantines_only_itself() {
-    let (join_plan, join_input) = exploding_join(1024);
+    let (join_plan, join_input) = exploding_join(1024, 1);
     let ok_input = gen::micro_input(5_000, 9);
     let ok_plan = select_plan(ok_input.schema().clone());
     let bj = [("t", &join_input)];
@@ -369,7 +439,7 @@ fn exploding_join_in_batch_quarantines_only_itself() {
     let boom = &batch.queries[0];
     match &boom.outcome {
         QueryOutcome::Failed { reason } => {
-            assert!(reason.contains("not elementwise"), "{reason}");
+            assert!(reason.contains("chunk-count ceiling"), "{reason}");
         }
         other => panic!("expected quarantine, got {other:?}"),
     }

@@ -124,7 +124,7 @@ proptest! {
             prop_assert_eq!(&a.outputs, &b.outputs);
             prop_assert_eq!(a.latency_seconds.to_bits(), b.latency_seconds.to_bits());
         }
-        // The histogram-derived percentiles are deterministic too.
+        // The nearest-rank percentiles are deterministic too.
         prop_assert_eq!(
             batch.latency_p50_seconds.to_bits(),
             again.latency_p50_seconds.to_bits()
@@ -343,10 +343,11 @@ fn concurrent_batch_strictly_beats_serial_with_identical_outputs() {
     assert!((batch.throughput_qps - 3.0 / batch.makespan_seconds).abs() < 1e-9);
 }
 
-/// The observability fields of `BatchReport`: latency percentiles come
-/// from the log-bucketed histogram (monotone, and p99's bucket upper
-/// bound dominates the slowest observed query), per-engine busy time is
-/// reported in seconds, and utilization is busy over makespan in (0, 1].
+/// The observability fields of `BatchReport`: latency percentiles are
+/// exact nearest-rank order statistics over the successful queries (p99
+/// bit-identical to the slowest at these batch sizes), per-engine busy
+/// time is reported in seconds, and utilization is busy over makespan
+/// in (0, 1].
 #[test]
 fn batch_report_percentiles_and_engine_utilization_are_consistent() {
     let a = gen::micro_input(150_000, 81);
@@ -377,21 +378,38 @@ fn batch_report_percentiles_and_engine_utilization_are_consistent() {
     let mut dev = device();
     let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
 
-    // Percentiles are monotone, positive, and the p99 bucket's upper bound
-    // covers the slowest query's measured latency.
+    // Percentiles are monotone, positive, and *exact*: each one is a real
+    // observed latency (nearest rank), and with fewer than 100 queries the
+    // p99 is bit-identical to the slowest successful query — not a
+    // power-of-two histogram bucket bound.
     assert!(batch.latency_p50_seconds > 0.0);
     assert!(batch.latency_p50_seconds <= batch.latency_p95_seconds);
     assert!(batch.latency_p95_seconds <= batch.latency_p99_seconds);
     let slowest = batch
         .queries
         .iter()
+        .filter(|q| q.outcome.is_success())
         .map(|q| q.latency_seconds)
         .fold(0.0f64, f64::max);
-    assert!(
-        batch.latency_p99_seconds >= slowest,
-        "p99 bucket bound {} under max latency {slowest}",
+    assert_eq!(
+        batch.latency_p99_seconds.to_bits(),
+        slowest.to_bits(),
+        "exact p99 {} must equal max successful latency {slowest}",
         batch.latency_p99_seconds
     );
+    for p in [
+        batch.latency_p50_seconds,
+        batch.latency_p95_seconds,
+        batch.latency_p99_seconds,
+    ] {
+        assert!(
+            batch
+                .queries
+                .iter()
+                .any(|q| q.latency_seconds.to_bits() == p.to_bits()),
+            "percentile {p} is not an observed latency"
+        );
+    }
 
     // Engine accounting: the three Fermi engines all worked, busy time is
     // bounded by the makespan, and utilization = busy / makespan.
