@@ -42,7 +42,7 @@ echo "== scheduler benchmark JSON (paper_tables -- scheduler)"
 # section itself asserts batched-fused < batched-unfused < serial-fused.
 bench_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$bench_dir"' EXIT
-cargo run -q --release -p kw-bench --bin paper_tables -- scheduler profile batch_resilience out_of_core --csv "$bench_dir" > /dev/null
+cargo run -q --release -p kw-bench --bin paper_tables -- scheduler profile batch_resilience out_of_core service --csv "$bench_dir" > /dev/null
 cargo run -q -p kw-examples --example bench_json_check -- "$bench_dir/BENCH_scheduler.json"
 
 echo "== batch resilience gate (examples/batch_resilience.rs)"
@@ -60,6 +60,15 @@ echo "== out-of-core chunking gate (examples/out_of_core_check.rs)"
 # any INVALID line.
 cargo run -q -p kw-examples --example out_of_core_check -- \
     "$bench_dir/BENCH_out_of_core.json" > /dev/null
+
+echo "== open-loop service gate (examples/service_check.rs)"
+# Schema-validates the service campaign's BENCH_service.json: percentile
+# monotonicity, completed+failed == arrivals, one cache lookup per arrival
+# (hits + misses == arrivals), cached variant hits while the disabled
+# baseline never does, p99_gain > 1, explicit nulls for all-failed runs;
+# exits non-zero on any INVALID line.
+cargo run -q -p kw-examples --example service_check -- \
+    "$bench_dir/BENCH_service.json" > /dev/null
 
 echo "== observability schema validation (examples/profile.rs)"
 # Prints the bottleneck profile and Prometheus export for a staged run and

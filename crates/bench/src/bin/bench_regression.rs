@@ -12,10 +12,14 @@
 //!
 //! * keys ending in `_seconds` are lower-is-better — a fresh value more
 //!   than `tolerance` above the baseline is a regression;
-//! * `throughput_qps`, `speedup_vs_serial`, `fusion_gain` and keys under
-//!   `engine_utilization` are higher-is-better;
-//! * structural integers (`queries`, `tuples_per_query`) and every string
-//!   (bottleneck classifications!) must match exactly;
+//! * throughputs and gains (`throughput_qps`, `achieved_qps`,
+//!   `saturation_offered_qps`, `speedup_vs_serial`, `fusion_gain`,
+//!   `p99_gain`) and keys under `engine_utilization` are higher-is-better;
+//! * structural integers (`queries`, `tuples_per_query`, `arrivals`,
+//!   `completed`, cache counters, seeds) and every string (bottleneck
+//!   classifications!) must match exactly;
+//! * failure counts (`quarantined`, `failed`, `cache_evictions`) are
+//!   lower-is-better;
 //! * all other numbers are two-sided: any relative drift beyond
 //!   `tolerance` fails, in either direction.
 //!
@@ -144,13 +148,16 @@ fn direction(path: &str) -> Direction {
     }
     if leaf == "throughput_qps"
         || leaf == "goodput_qps"
+        || leaf == "achieved_qps"
+        || leaf == "saturation_offered_qps"
         || leaf == "speedup_vs_serial"
         || leaf == "fusion_gain"
+        || leaf == "p99_gain"
         || path.contains("engine_utilization")
     {
         return Direction::HigherIsBetter;
     }
-    if leaf == "quarantined" {
+    if leaf == "quarantined" || leaf == "failed" || leaf == "cache_evictions" {
         return Direction::LowerIsBetter;
     }
     if leaf == "queries"
@@ -159,6 +166,13 @@ fn direction(path: &str) -> Direction {
         || leaf == "waves"
         || leaf == "input_bytes"
         || leaf == "device_bytes"
+        || leaf == "arrivals"
+        || leaf == "shapes"
+        || leaf == "completed"
+        || leaf == "dispatches"
+        || leaf == "cache_hits"
+        || leaf == "cache_misses"
+        || leaf == "seed"
     {
         return Direction::Exact;
     }
@@ -344,6 +358,63 @@ mod tests {
         // ...and chunk counts may shrink but not grow.
         assert!(diff("{\"chunks\": 8}", "{\"chunks\": 4}").is_empty());
         assert_eq!(diff("{\"chunks\": 8}", "{\"chunks\": 16}").len(), 1);
+    }
+
+    #[test]
+    fn service_metrics_have_typed_directions() {
+        // Achieved QPS and the saturation knee may not fall...
+        assert!(diff("{\"achieved_qps\": 100}", "{\"achieved_qps\": 150}").is_empty());
+        assert_eq!(
+            diff("{\"achieved_qps\": 100}", "{\"achieved_qps\": 90}").len(),
+            1
+        );
+        assert!(diff(
+            "{\"saturation_offered_qps\": 500}",
+            "{\"saturation_offered_qps\": 700}"
+        )
+        .is_empty());
+        assert_eq!(
+            diff(
+                "{\"saturation_offered_qps\": 500}",
+                "{\"saturation_offered_qps\": 400}"
+            )
+            .len(),
+            1
+        );
+        // ...the cache's p99 gain may not shrink...
+        assert!(diff("{\"p99_gain\": 2.0}", "{\"p99_gain\": 3.0}").is_empty());
+        assert_eq!(diff("{\"p99_gain\": 2.0}", "{\"p99_gain\": 1.5}").len(), 1);
+        // ...arrival accounting and cache counters are structural...
+        for key in [
+            "arrivals",
+            "completed",
+            "dispatches",
+            "cache_hits",
+            "cache_misses",
+            "seed",
+        ] {
+            assert_eq!(
+                diff(&format!("{{\"{key}\": 96}}"), &format!("{{\"{key}\": 95}}")).len(),
+                1,
+                "{key} must be exact"
+            );
+        }
+        // ...failures and evictions may shrink but not grow...
+        assert!(diff("{\"failed\": 2}", "{\"failed\": 0}").is_empty());
+        assert_eq!(diff("{\"failed\": 0}", "{\"failed\": 1}").len(), 1);
+        assert!(diff("{\"cache_evictions\": 4}", "{\"cache_evictions\": 1}").is_empty());
+        assert_eq!(
+            diff("{\"cache_evictions\": 1}", "{\"cache_evictions\": 4}").len(),
+            1
+        );
+        // ...SLO verdicts are booleans and must match, and an all-failed
+        // run's explicit null percentile stays null.
+        assert_eq!(diff("{\"slo_met\": true}", "{\"slo_met\": false}").len(), 1);
+        assert!(diff(
+            "{\"total_p99_seconds\": null}",
+            "{\"total_p99_seconds\": null}"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -13,8 +13,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use kw_bench::experiments::{
     ablations, batch_resilience, capacity, density, fig04, fig16, fig17, fig18, fig19, fig20,
-    fig21, out_of_core, overlap, platforms, profile, queries, robustness, scheduler, table2,
-    table3, trace,
+    fig21, out_of_core, overlap, platforms, profile, queries, robustness, scheduler, service,
+    table2, table3, trace,
 };
 
 fn main() {
@@ -528,6 +528,84 @@ fn main() {
                         r.serial_fused,
                         r.throughput_qps
                     )
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!();
+    });
+
+    run(&["service"], &|| {
+        section("Open-loop service: offered load vs latency SLO, plan cache on/off");
+        let n = 1 << 14;
+        let arrivals = service::ARRIVALS;
+        let sweeps = service::run(n, arrivals);
+        for s in &sweeps {
+            println!(
+                "  {}: SLO {:.3} ms (={:.0}x unloaded p99), serial rate {:.0} q/s, \
+                 knee {:.0} q/s",
+                s.device,
+                s.slo_p99_seconds * 1e3,
+                service::SLO_FACTOR,
+                s.base_qps,
+                s.saturation_offered_qps
+            );
+            println!(
+                "{:>10}  {:>6}  {:>12}  {:>12}  {:>8}  {:>10}  {:>10}  {:>4}",
+                "offered",
+                "load",
+                "cached p99",
+                "uncach p99",
+                "gain",
+                "cached q/s",
+                "uncach q/s",
+                "SLO"
+            );
+            for r in &s.rows {
+                println!(
+                    "{:>6.0} q/s  {:>5.1}x  {:>9.3} ms  {:>9.3} ms  {:>7.2}x  {:>10.1}  {:>10.1}  {:>4}",
+                    r.offered_qps,
+                    r.load_factor,
+                    r.cached.total_p99_seconds * 1e3,
+                    r.uncached.total_p99_seconds * 1e3,
+                    r.p99_gain(),
+                    r.cached.achieved_qps,
+                    r.uncached.achieved_qps,
+                    if r.cached.slo_met { "met" } else { "miss" }
+                );
+            }
+            println!();
+        }
+        println!("  (cached p99 strictly beats uncached at every load on every device)");
+        // Machine-readable results for the CI gate, always emitted; `--csv`
+        // only redirects where they land.
+        let dir = csv_dir.clone().unwrap_or_else(|| "bench_results".into());
+        std::fs::create_dir_all(&dir).expect("create bench_results dir");
+        let path = dir.join("BENCH_service.json");
+        let json = service::to_json(n, arrivals, &sweeps);
+        kw_gpu_sim::validate_json(&json).expect("service JSON must parse");
+        std::fs::write(&path, json).expect("write BENCH_service.json");
+        println!("  wrote {}", path.display());
+        csv(
+            "service.csv",
+            "device,offered_qps,load_factor,cached_p99_seconds,uncached_p99_seconds,\
+             p99_gain,cached_achieved_qps,uncached_achieved_qps,cached_slo_met",
+            &sweeps
+                .iter()
+                .flat_map(|s| {
+                    s.rows.iter().map(|r| {
+                        format!(
+                            "{},{},{},{},{},{},{},{},{}",
+                            s.device,
+                            r.offered_qps,
+                            r.load_factor,
+                            r.cached.total_p99_seconds,
+                            r.uncached.total_p99_seconds,
+                            r.p99_gain(),
+                            r.cached.achieved_qps,
+                            r.uncached.achieved_qps,
+                            r.cached.slo_met
+                        )
+                    })
                 })
                 .collect::<Vec<_>>(),
         );

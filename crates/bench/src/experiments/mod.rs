@@ -22,6 +22,7 @@ pub mod profile;
 pub mod queries;
 pub mod robustness;
 pub mod scheduler;
+pub mod service;
 pub mod table2;
 pub mod table3;
 pub mod trace;

@@ -62,11 +62,13 @@ mod dot;
 mod error;
 mod executor;
 mod plan;
+mod plan_cache;
 mod profile;
 mod reschedule;
 mod resilient;
 mod scheduler;
 mod selection;
+mod service;
 mod weave;
 
 pub use admission::{
@@ -85,14 +87,19 @@ pub use dot::plan_to_dot;
 pub use error::{LadderStop, Result, WeaverError};
 pub use executor::{execute_compiled, execute_plan, ExecMode, PlanReport};
 pub use plan::{NodeId, PlanNode, QueryPlan};
+pub use plan_cache::{plan_shape_key, shape_fingerprint, PlanCache, PlanCacheStats};
 pub use profile::{Bottleneck, OperatorProfile, ProfileReport};
 pub use reschedule::{reschedule, Rescheduled};
 pub use resilient::{
     execute_compiled_resilient, execute_resilient, Degradation, ResilienceReport, RetryPolicy,
 };
 pub use scheduler::{
-    execute_batch, execute_batch_with_policy, BatchQuery, BatchQueryReport, BatchReport,
-    QueryOutcome,
+    execute_batch, execute_batch_compiled_with_policy, execute_batch_with_policy, BatchQuery,
+    BatchQueryReport, BatchReport, QueryOutcome,
 };
 pub use selection::{select_fusions, ResourceBudget};
+pub use service::{
+    run_service, run_service_with_policy, ServiceConfig, ServicePercentiles, ServiceQueryReport,
+    ServiceReport,
+};
 pub use weave::{weave, WovenOperator};

@@ -417,6 +417,35 @@ pub fn execute_batch_with_policy(
         .iter()
         .map(|q| compile(q.plan, config))
         .collect::<Result<_>>()?;
+    execute_batch_compiled_with_policy(queries, &compiled, device, config, policy)
+}
+
+/// [`execute_batch_with_policy`] over already-compiled plans: `compiled[i]`
+/// must be `compile(queries[i].plan, config)` (or an equal plan/config
+/// pair). This is the service-loop entry point — a compiled-plan cache can
+/// hand the same [`CompiledPlan`] to every arrival of a repeated shape
+/// instead of paying `compile()` per query, which is what
+/// [`execute_batch`] does internally.
+///
+/// # Errors
+///
+/// Returns [`WeaverError::Plan`] when `queries` and `compiled` disagree in
+/// length. Everything from admission onward is absorbed into per-query
+/// outcomes, exactly as for [`execute_batch`].
+pub fn execute_batch_compiled_with_policy(
+    queries: &[BatchQuery<'_>],
+    compiled: &[CompiledPlan],
+    device: &mut Device,
+    config: &WeaverConfig,
+    policy: &RetryPolicy,
+) -> Result<BatchReport> {
+    if queries.len() != compiled.len() {
+        return Err(WeaverError::plan(format!(
+            "batch has {} queries but {} compiled plans",
+            queries.len(),
+            compiled.len()
+        )));
+    }
 
     // The batch window opens before phase 1: scratch runs charge nothing
     // to the shared clock except retry backoff, which belongs inside the
@@ -433,7 +462,7 @@ pub fn execute_batch_with_policy(
         .saturating_sub(device.memory().in_use());
     let admission_input: Vec<BatchAdmissionQuery<'_>> = queries
         .iter()
-        .zip(&compiled)
+        .zip(compiled)
         .map(|(q, c)| (q.plan, c, q.bindings))
         .collect();
     let admission = plan_waves(&admission_input, free);
@@ -1282,6 +1311,85 @@ mod tests {
         );
         assert_eq!(dev.memory().in_use(), 0);
         kw_gpu_sim::reconcile(dev.spans(), dev.stats()).unwrap();
+    }
+
+    #[test]
+    fn all_failed_batch_reports_finite_zero_percentiles() {
+        // Every query binds the wrong name, so every fault domain fails and
+        // the percentile computation runs over zero successful latencies.
+        // The report must stay total: exact zeros, no NaN, no index past an
+        // empty vector.
+        let a = gen::micro_input(10_000, 51);
+        let plan = chain(a.schema().clone(), 2);
+        let bad = [("wrong", &a)];
+        let queries: Vec<BatchQuery<'_>> = (0..3)
+            .map(|_| BatchQuery {
+                name: "doomed",
+                plan: &plan,
+                bindings: &bad,
+            })
+            .collect();
+        let mut dev = device();
+        let batch = execute_batch(&queries, &mut dev, &WeaverConfig::default()).unwrap();
+        assert_eq!(batch.quarantined_count(), 3);
+        for p in [
+            batch.latency_p50_seconds,
+            batch.latency_p95_seconds,
+            batch.latency_p99_seconds,
+        ] {
+            assert!(p.is_finite(), "percentile must be finite, got {p}");
+            assert_eq!(p, 0.0, "no successes must quote 0.0, got {p}");
+        }
+        assert_eq!(batch.goodput_qps, 0.0);
+        assert_eq!(dev.memory().in_use(), 0);
+    }
+
+    #[test]
+    fn precompiled_batch_matches_internal_compilation() {
+        let a = gen::micro_input(20_000, 52);
+        let plan = chain(a.schema().clone(), 3);
+        let bindings = [("t", &a)];
+        let queries = [
+            BatchQuery {
+                name: "qa",
+                plan: &plan,
+                bindings: &bindings,
+            },
+            BatchQuery {
+                name: "qb",
+                plan: &plan,
+                bindings: &bindings,
+            },
+        ];
+        let cfg = WeaverConfig::default();
+        let compiled = vec![compile(&plan, &cfg).unwrap(), compile(&plan, &cfg).unwrap()];
+        let mut d1 = device();
+        let pre = execute_batch_compiled_with_policy(
+            &queries,
+            &compiled,
+            &mut d1,
+            &cfg,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        let mut d2 = device();
+        let auto = execute_batch(&queries, &mut d2, &cfg).unwrap();
+        assert_eq!(pre.queries.len(), auto.queries.len());
+        for (p, a) in pre.queries.iter().zip(&auto.queries) {
+            assert_eq!(p.outputs, a.outputs);
+            assert_eq!(p.outcome, a.outcome);
+        }
+        assert_eq!(pre.makespan_seconds, auto.makespan_seconds);
+
+        // Length mismatch is a caller bug, reported as a plan error.
+        let err = execute_batch_compiled_with_policy(
+            &queries,
+            &compiled[..1],
+            &mut device(),
+            &cfg,
+            &RetryPolicy::default(),
+        );
+        assert!(err.is_err());
     }
 
     #[test]

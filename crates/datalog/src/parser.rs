@@ -15,12 +15,24 @@ use crate::{
 /// line of the problem.
 pub fn parse(src: &str) -> Result<Program> {
     let tokens = crate::lex(src)?;
-    Parser { tokens, pos: 0 }.program()
+    Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    }
+    .program()
 }
+
+/// Maximum parenthesis-nesting depth inside an arithmetic expression.
+/// Real programs nest two or three levels; the bound exists so a
+/// paren-bomb (`((((…`) reports a parse error instead of overflowing
+/// the recursive-descent stack.
+const MAX_ARITH_DEPTH: usize = 64;
 
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -291,7 +303,15 @@ impl Parser {
             Token::Int(v) => Ok(ArithAst::Const(ConstVal::Int(v))),
             Token::Float(v) => Ok(ArithAst::Const(ConstVal::Float(v))),
             Token::LParen => {
-                let e = self.arith_expr()?;
+                if self.depth >= MAX_ARITH_DEPTH {
+                    return self.err(format!(
+                        "expression nests deeper than {MAX_ARITH_DEPTH} parentheses"
+                    ));
+                }
+                self.depth += 1;
+                let e = self.arith_expr();
+                self.depth -= 1;
+                let e = e?;
                 self.expect(&Token::RParen, "')'")?;
                 Ok(e)
             }
@@ -361,6 +381,25 @@ mod tests {
     fn non_prefix_key_rejected() {
         assert!(parse(".input t(u32, *u32).\n").is_err());
         assert!(parse(".input t(*u32, u32, *u32).\n").is_err());
+    }
+
+    #[test]
+    fn paren_bomb_errors_instead_of_overflowing() {
+        // 100k nested parens must yield a parse error, not a stack overflow.
+        let bomb = format!(
+            ".input t(*u32).\nr({}X{}) :- t(X).\n.output r.",
+            "(".repeat(100_000),
+            ")".repeat(100_000)
+        );
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.to_string().contains("nests deeper"), "{err}");
+        // Modest nesting still parses.
+        let ok = format!(
+            ".input t(*u32).\nr({}X{}) :- t(X).\n.output r.",
+            "(".repeat(16),
+            ")".repeat(16)
+        );
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

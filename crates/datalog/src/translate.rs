@@ -71,7 +71,9 @@ pub fn translate(program: &Program) -> Result<Translated> {
                     .map_err(DatalogError::from)?,
             });
         }
-        let node = result.expect("at least one rule per head");
+        let node = result.ok_or_else(|| {
+            DatalogError::semantic(format!("no rule bodies translated for head '{head}'"))
+        })?;
         if env.contains_key(head) {
             return Err(DatalogError::semantic(format!(
                 "relation '{head}' already defined"
@@ -186,7 +188,12 @@ fn translate_rule(
     if all_vars {
         let mut attrs = Vec::new();
         for t in &rule.head_terms {
-            let HeadTerm::Var(v) = t else { unreachable!() };
+            let HeadTerm::Var(v) = t else {
+                return Err(DatalogError::semantic(format!(
+                    "head of '{}' mixes expressions into a variable-only projection",
+                    rule.head
+                )));
+            };
             attrs.push(position(&bindings, v).ok_or_else(|| {
                 DatalogError::semantic(format!(
                     "head variable '{v}' of '{}' is not bound in the body",
@@ -334,8 +341,12 @@ fn rekey(
 ) -> Result<(NodeId, Bindings)> {
     let positions: Vec<usize> = shared
         .iter()
-        .map(|v| position(&bindings, v).expect("shared var bound on this side"))
-        .collect();
+        .map(|v| {
+            position(&bindings, v).ok_or_else(|| {
+                DatalogError::semantic(format!("shared variable '{v}' is not bound on this side"))
+            })
+        })
+        .collect::<Result<_>>()?;
     let schema = plan.schema(node);
     let already =
         positions.iter().enumerate().all(|(i, &p)| p == i) && schema.key_arity() >= positions.len();
@@ -361,10 +372,14 @@ fn rekey(
     let new_bindings = bindings
         .into_iter()
         .map(|(v, old)| {
-            let new = order.iter().position(|&o| o == old).expect("permutation");
-            (v, new)
+            let new = order.iter().position(|&o| o == old).ok_or_else(|| {
+                DatalogError::semantic(format!(
+                    "variable '{v}' lost its attribute while re-keying (position {old})"
+                ))
+            })?;
+            Ok((v, new))
         })
-        .collect();
+        .collect::<Result<_>>()?;
     Ok((sorted, new_bindings))
 }
 
@@ -382,7 +397,9 @@ fn compare_predicate(
             Operand::Var(v) => position(bindings, v).ok_or_else(|| {
                 DatalogError::semantic(format!("comparison uses unbound variable '{v}'"))
             }),
-            Operand::Const(_) => unreachable!("handled by caller"),
+            Operand::Const(_) => Err(DatalogError::semantic(
+                "constant operand where a variable was required",
+            )),
         }
     };
     match (left, right) {

@@ -9,6 +9,40 @@
 //! objects preserve key order as written, and errors carry a byte
 //! offset for debugging hand-rolled writers.
 
+/// Maximum nesting depth [`parse_json`] accepts before reporting an
+/// error instead of recursing further. Our exporters nest a handful of
+/// levels; anything deeper is a malformed or adversarial document, and
+/// bounding the recursion keeps the parser total (no stack overflow on
+/// `[[[[…`).
+pub const MAX_JSON_DEPTH: usize = 128;
+
+/// A typed [`parse_json`] error: what went wrong and the byte offset
+/// where the parser stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the document where parsing failed.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl JsonError {
+    fn new(offset: usize, detail: impl Into<String>) -> JsonError {
+        JsonError {
+            offset,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.detail, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 /// A parsed JSON value.
 ///
 /// Objects are represented as ordered `(key, value)` pairs — the
@@ -74,8 +108,10 @@ impl JsonValue {
 
 /// Parse a JSON document into a [`JsonValue`] tree.
 ///
-/// Rejects trailing garbage. Errors are human-readable and carry the
-/// byte offset where parsing failed.
+/// Total over arbitrary input: malformed documents — including ones
+/// nested deeper than [`MAX_JSON_DEPTH`] — yield a typed [`JsonError`]
+/// carrying the byte offset where parsing failed, never a panic.
+/// Rejects trailing garbage.
 ///
 /// ```
 /// use kw_gpu_sim::{parse_json, JsonValue};
@@ -84,23 +120,27 @@ impl JsonValue {
 /// assert_eq!(rows[0].get("qps").unwrap().as_f64(), Some(1.5));
 /// assert!(parse_json("{oops}").is_err());
 /// ```
-pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+pub fn parse_json(text: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser {
+        text,
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
+        return Err(JsonError::new(p.pos, "trailing garbage"));
     }
     Ok(v)
 }
 
 struct Parser<'a> {
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -118,17 +158,27 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            Err(JsonError::new(
+                self.pos,
+                format!("expected '{}'", b as char),
+            ))
         }
     }
 
-    fn value(&mut self) -> Result<JsonValue, String> {
-        match self.peek() {
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        if self.depth >= MAX_JSON_DEPTH {
+            return Err(JsonError::new(
+                self.pos,
+                format!("nesting deeper than {MAX_JSON_DEPTH} levels"),
+            ));
+        }
+        self.depth += 1;
+        let v = match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
@@ -136,21 +186,27 @@ impl Parser<'_> {
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
             Some(b'n') => self.literal("null", JsonValue::Null),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            Some(b) => Err(format!("unexpected '{}' at byte {}", b as char, self.pos)),
-            None => Err("unexpected end of input".to_string()),
-        }
+            Some(b) => Err(JsonError::new(
+                self.pos,
+                format!("unexpected '{}'", b as char),
+            )),
+            None => Err(JsonError::new(self.pos, "unexpected end of input")),
+        };
+        self.depth -= 1;
+        v
     }
 
-    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(format!("bad literal at byte {}", self.pos))
+            Err(JsonError::new(self.pos, "bad literal"))
         }
     }
 
-    fn object(&mut self) -> Result<JsonValue, String> {
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
         let mut entries = Vec::new();
         self.skip_ws();
@@ -173,12 +229,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(JsonValue::Object(entries));
                 }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                _ => return Err(JsonError::new(self.pos, "expected ',' or '}'")),
             }
         }
     }
 
-    fn array(&mut self) -> Result<JsonValue, String> {
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -196,12 +252,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(JsonValue::Array(items));
                 }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                _ => return Err(JsonError::new(self.pos, "expected ',' or ']'")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -225,33 +281,38 @@ impl Parser<'_> {
                             let hex = self
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| format!("truncated \\u at byte {}", self.pos))?;
+                                .ok_or_else(|| JsonError::new(self.pos, "truncated \\u"))?;
                             let code = std::str::from_utf8(hex)
                                 .ok()
                                 .and_then(|s| u32::from_str_radix(s, 16).ok())
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                                .ok_or_else(|| JsonError::new(self.pos, "bad \\u escape"))?;
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             self.pos += 4;
                         }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        _ => return Err(JsonError::new(self.pos, "bad escape")),
                     }
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (documents are valid UTF-8
-                    // because they arrive as &str).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let ch = s.chars().next().unwrap();
+                    // Consume one UTF-8 scalar. The document arrived as
+                    // &str, so every position is either a boundary or
+                    // mid-scalar; `str::get` refuses mid-scalar slices,
+                    // which cannot happen here because we only ever
+                    // advance by whole scalars or over ASCII bytes.
+                    let ch = self
+                        .text
+                        .get(self.pos..)
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| JsonError::new(self.pos, "bad UTF-8 boundary"))?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
-                None => return Err("unterminated string".to_string()),
+                None => return Err(JsonError::new(self.pos, "unterminated string")),
             }
         }
     }
 
-    fn number(&mut self) -> Result<JsonValue, String> {
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -263,10 +324,12 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scanned slice is ASCII by construction ('-', digits, '.',
+        // 'e', 'E', '+'), so it is always valid UTF-8.
+        let text = self.text.get(start..self.pos).unwrap_or("");
         text.parse::<f64>()
             .map(JsonValue::Number)
-            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+            .map_err(|_| JsonError::new(start, format!("bad number '{text}'")))
     }
 }
 
@@ -301,9 +364,46 @@ mod tests {
             "123 456",
             "\"open",
             "{\"a\":}",
+            "tru",
+            "[1, 2",
+            "\"bad \\u12",
+            "\"bad \\q\"",
+            "-",
+            "1e",
         ] {
             assert!(parse_json(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        let err = parse_json("{\"a\": nope}").unwrap_err();
+        assert_eq!(err.offset, 6);
+        assert!(err.to_string().contains("byte 6"), "got: {err}");
+        let err = parse_json("[1, 2] junk").unwrap_err();
+        assert_eq!(err.offset, 7);
+        assert!(err.detail.contains("trailing garbage"));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Far past MAX_JSON_DEPTH: must return an error, not blow the stack.
+        let bomb = "[".repeat(100_000);
+        let err = parse_json(&bomb).unwrap_err();
+        assert!(err.detail.contains("nesting"), "got: {err}");
+        // A document at a legal depth still parses.
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_JSON_DEPTH - 1),
+            "]".repeat(MAX_JSON_DEPTH - 1)
+        );
+        assert!(parse_json(&deep).is_ok());
+    }
+
+    #[test]
+    fn multibyte_strings_roundtrip() {
+        let doc = parse_json("{\"k\": \"héllo — ∑ ✓\"}").unwrap();
+        assert_eq!(doc.get("k").unwrap().as_str(), Some("héllo — ∑ ✓"));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use cost::{kernel_cost, KernelCost, KernelQuantities, KernelResources, Launc
 pub use device::Device;
 pub use error::{Result, SimError};
 pub use fault::{FaultConfig, FaultInjector, FaultKind, ScriptedFault};
-pub use jsonval::{parse_json, JsonValue};
+pub use jsonval::{parse_json, JsonError, JsonValue, MAX_JSON_DEPTH};
 pub use memory::{BufferId, MemoryTracker};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};

@@ -1,0 +1,237 @@
+//! CI gate for the open-loop service campaign's JSON export.
+//!
+//! Re-parses `bench_results/BENCH_service.json` (hand-rolled JSON, so a
+//! writer bug shows up as a syntax error here), verifies the keys the
+//! regression gate consumes, and checks the campaign's accounting
+//! invariants per config and row:
+//!
+//! * percentile monotonicity: `total_p50 <= total_p95 <= total_p99`, and
+//!   the component p99s never exceed the total p99;
+//! * arrival accounting: `completed + failed == arrivals` and
+//!   `cache_hits + cache_misses == arrivals` (exactly one cache lookup
+//!   per arrival) for both variants;
+//! * the cached variant hits (`cache_hits > 0`), the disabled baseline
+//!   never does (`cache_hits == 0`), and `p99_gain > 1`;
+//! * percentiles of an all-failed run are explicit `null`s, never fake
+//!   numbers.
+//!
+//! ```bash
+//! cargo run -p kw-examples --example service_check [path/to/file.json]
+//! ```
+
+use kw_gpu_sim::{parse_json, validate_json, JsonValue};
+
+/// Keys the bench_regression gate and EXPERIMENTS.md consume.
+const REQUIRED_KEYS: [&str; 12] = [
+    "\"experiment\"",
+    "\"arrivals\"",
+    "\"seed\"",
+    "\"configs\"",
+    "\"device\"",
+    "\"slo_p99_seconds\"",
+    "\"saturation_offered_qps\"",
+    "\"offered_qps\"",
+    "\"p99_gain\"",
+    "\"cached\"",
+    "\"uncached\"",
+    "\"total_p99_seconds\"",
+];
+
+fn num(v: &JsonValue, key: &str) -> Option<f64> {
+    match v.get(key) {
+        Some(JsonValue::Number(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Check one variant object; returns failures found.
+fn check_variant(label: &str, v: &JsonValue, arrivals: f64) -> u32 {
+    let mut failures = 0;
+    let completed = num(v, "completed");
+    let failed = num(v, "failed");
+    match (completed, failed) {
+        (Some(c), Some(f)) if (c + f - arrivals).abs() < 0.5 => {}
+        other => {
+            eprintln!("INVALID: {label}: completed+failed must equal arrivals, got {other:?}");
+            failures += 1;
+        }
+    }
+    match (num(v, "cache_hits"), num(v, "cache_misses")) {
+        (Some(h), Some(m)) if (h + m - arrivals).abs() < 0.5 => {}
+        other => {
+            eprintln!(
+                "INVALID: {label}: cache_hits+cache_misses must equal arrivals \
+                 (one lookup per arrival), got {other:?}"
+            );
+            failures += 1;
+        }
+    }
+    let all_failed = completed == Some(0.0);
+    for key in [
+        "queueing_p99_seconds",
+        "execution_p99_seconds",
+        "total_p50_seconds",
+        "total_p95_seconds",
+        "total_p99_seconds",
+    ] {
+        match v.get(key) {
+            Some(JsonValue::Null) if all_failed => {}
+            Some(JsonValue::Number(x)) if !all_failed && x.is_finite() && *x >= 0.0 => {}
+            other => {
+                eprintln!(
+                    "INVALID: {label}.{key}: expected {} got {other:?}",
+                    if all_failed {
+                        "explicit null (no successes)"
+                    } else {
+                        "a finite non-negative number"
+                    }
+                );
+                failures += 1;
+            }
+        }
+    }
+    if !all_failed {
+        let p50 = num(v, "total_p50_seconds").unwrap_or(f64::NAN);
+        let p95 = num(v, "total_p95_seconds").unwrap_or(f64::NAN);
+        let p99 = num(v, "total_p99_seconds").unwrap_or(f64::NAN);
+        if !(p50 <= p95 && p95 <= p99) {
+            eprintln!("INVALID: {label}: percentiles not monotone: {p50} / {p95} / {p99}");
+            failures += 1;
+        }
+        for key in ["queueing_p99_seconds", "execution_p99_seconds"] {
+            if let Some(comp) = num(v, key) {
+                if comp > p99 + 1e-12 {
+                    eprintln!("INVALID: {label}.{key} {comp} exceeds total p99 {p99}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn check_json(path: &str) -> u32 {
+    let mut failures = 0;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("INVALID: cannot read {path}: {e}");
+            eprintln!("(run `cargo run -p kw-bench --bin paper_tables -- service` first)");
+            return 1;
+        }
+    };
+    match validate_json(&text) {
+        Ok(()) => println!("{path}: well-formed JSON ({} bytes)", text.len()),
+        Err(e) => {
+            eprintln!("INVALID: {path} does not parse: {e}");
+            failures += 1;
+        }
+    }
+    for key in REQUIRED_KEYS {
+        if !text.contains(key) {
+            eprintln!("INVALID: {path} is missing required key {key}");
+            failures += 1;
+        }
+    }
+
+    let doc = match parse_json(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("INVALID: {path}: {e}");
+            return failures.max(1);
+        }
+    };
+    let arrivals = match num(&doc, "arrivals") {
+        Some(a) if a > 0.0 => a,
+        other => {
+            eprintln!("INVALID: {path} needs a positive arrivals count, got {other:?}");
+            return failures + 1;
+        }
+    };
+    let Some(JsonValue::Array(configs)) = doc.get("configs") else {
+        eprintln!("INVALID: {path} has no configs array");
+        return failures + 1;
+    };
+    if configs.is_empty() {
+        eprintln!("INVALID: {path} has an empty configs array");
+        failures += 1;
+    }
+    let mut rows_checked = 0usize;
+    for (c, cfg) in configs.iter().enumerate() {
+        let device = match cfg.get("device") {
+            Some(JsonValue::Str(s)) => s.clone(),
+            other => {
+                eprintln!("INVALID: configs[{c}] has no device name: {other:?}");
+                failures += 1;
+                format!("configs[{c}]")
+            }
+        };
+        let slo = num(cfg, "slo_p99_seconds");
+        if !slo.is_some_and(|s| s > 0.0 && s.is_finite()) {
+            eprintln!("INVALID: {device}: slo_p99_seconds must be positive, got {slo:?}");
+            failures += 1;
+        }
+        let Some(JsonValue::Array(rows)) = cfg.get("rows") else {
+            eprintln!("INVALID: {device} has no rows array");
+            failures += 1;
+            continue;
+        };
+        if rows.is_empty() {
+            eprintln!("INVALID: {device} has an empty rows array");
+            failures += 1;
+        }
+        for (i, row) in rows.iter().enumerate() {
+            rows_checked += 1;
+            let label = format!("{device}.rows[{i}]");
+            let (Some(cached), Some(uncached)) = (row.get("cached"), row.get("uncached")) else {
+                eprintln!("INVALID: {label} needs cached and uncached variants");
+                failures += 1;
+                continue;
+            };
+            failures += check_variant(&format!("{label}.cached"), cached, arrivals);
+            failures += check_variant(&format!("{label}.uncached"), uncached, arrivals);
+            if num(cached, "cache_hits") == Some(0.0) {
+                eprintln!("INVALID: {label}.cached never hit despite repeated shapes");
+                failures += 1;
+            }
+            if num(uncached, "cache_hits") != Some(0.0) {
+                eprintln!("INVALID: {label}.uncached hit a cache that should be disabled");
+                failures += 1;
+            }
+            match row.get("p99_gain") {
+                Some(JsonValue::Number(g)) if *g > 1.0 => {}
+                Some(JsonValue::Null) => {} // an all-failed load has no gain to claim
+                other => {
+                    eprintln!("INVALID: {label}: p99_gain must exceed 1, got {other:?}");
+                    failures += 1;
+                }
+            }
+        }
+        // The knee must be one of the swept loads (or 0 if all broke SLO).
+        if let Some(knee) = num(cfg, "saturation_offered_qps") {
+            let offered: Vec<f64> = rows.iter().filter_map(|r| num(r, "offered_qps")).collect();
+            if knee != 0.0 && !offered.iter().any(|&o| (o - knee).abs() < 1e-9 * o.abs()) {
+                eprintln!("INVALID: {device}: knee {knee} is not one of the swept loads");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!(
+            "{path}: all {} required keys present, {} config(s), {rows_checked} rows \
+             service-consistent",
+            REQUIRED_KEYS.len(),
+            configs.len()
+        );
+    }
+    failures
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bench_results/BENCH_service.json".into());
+    if check_json(&path) > 0 {
+        std::process::exit(1);
+    }
+}

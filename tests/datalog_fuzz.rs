@@ -51,6 +51,42 @@ proptest! {
         let _ = compile_datalog(&src);
     }
 
+    /// Mutating one byte of a valid program never panics the front-end:
+    /// the result either still compiles or reports a typed error.
+    #[test]
+    fn mutated_valid_programs_never_panic(
+        idx in 0usize..1000,
+        replacement in "[ -~]{1,1}",
+    ) {
+        let base = ".input t(*u32, u32, f32).\n\
+                    .input u(*u32, u32).\n\
+                    r(K, V + 1) :- t(K, V, _), u(K, W), V < 100, V != W.\n\
+                    s(K) :- r(K, _), !u(K, 7).\n\
+                    .output s.\n";
+        let mut bytes = base.as_bytes().to_vec();
+        let pos = idx % bytes.len();
+        bytes[pos] = replacement.as_bytes()[0];
+        // The mutation may break UTF-8-irrelevant ASCII only, so this is
+        // always a valid string.
+        let src = String::from_utf8(bytes).unwrap();
+        match compile_datalog(&src) {
+            Ok(_) => {}
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+
+    /// Deep arithmetic nesting reaches the recursion guard, not the stack
+    /// limit: any depth either parses or errors, never aborts.
+    #[test]
+    fn nested_arithmetic_never_overflows(depth in 0usize..300) {
+        let src = format!(
+            ".input t(*u32).\nr({}X + 1{}) :- t(X).\n.output r.",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let _ = compile_datalog(&src);
+    }
+
     /// Well-formed generated programs always compile, and compilation is
     /// deterministic.
     #[test]

@@ -1,0 +1,116 @@
+//! Robustness fuzzing of the bench-harness JSON reader: [`parse_json`]
+//! must be total — arbitrary input, mutated valid exports, and
+//! adversarially deep documents all yield `Ok` or a typed [`JsonError`],
+//! never a panic or stack overflow.
+
+use proptest::prelude::*;
+
+use kw_gpu_sim::{parse_json, JsonValue, MetricsRegistry, MAX_JSON_DEPTH};
+
+/// A representative hand-rolled export, like the ones `paper_tables`
+/// writes: nested objects, arrays of rows, strings, floats, nulls.
+fn sample_export() -> String {
+    let mut m = MetricsRegistry::default();
+    m.inc("kw_service_arrivals_total", 96);
+    m.set_gauge("kw_plan_cache_entries", 3.0);
+    m.observe("kw_service_total_latency_cycles", 1200);
+    format!(
+        "{{\"meta\": {{\"device\": \"fermi_c2050\", \"seed\": 43089}}, \
+          \"rows\": [{{\"offered_qps\": 250.0, \"p99_seconds\": 0.0125, \"slo_met\": true}}, \
+                     {{\"offered_qps\": 500.0, \"p99_seconds\": null, \"slo_met\": false}}], \
+          \"metrics\": {}}}",
+        m.to_json()
+    )
+}
+
+#[test]
+fn sample_export_parses() {
+    let doc = parse_json(&sample_export()).unwrap();
+    let rows = doc.get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get("offered_qps").unwrap().as_f64(), Some(250.0));
+    assert_eq!(rows[1].get("p99_seconds"), Some(&JsonValue::Null));
+}
+
+#[test]
+fn bracket_bombs_error_without_overflow() {
+    for pat in ["[", "{\"k\":", "[{\"k\":["] {
+        let bomb = pat.repeat(50_000);
+        let err = parse_json(&bomb).unwrap_err();
+        assert!(err.offset <= bomb.len(), "offset in range for {pat:?}");
+    }
+    // A document right at the depth limit still parses.
+    let deep = format!(
+        "{}0{}",
+        "[".repeat(MAX_JSON_DEPTH - 1),
+        "]".repeat(MAX_JSON_DEPTH - 1)
+    );
+    assert!(parse_json(&deep).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text never panics the parser.
+    #[test]
+    fn parser_is_total_on_arbitrary_text(src in "[ -~\n\t]{0,300}") {
+        match parse_json(&src) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(e.offset <= src.len());
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    /// Soup built from JSON's own token alphabet (reaches deeper parser
+    /// states than raw text) never panics.
+    #[test]
+    fn parser_is_total_on_json_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just(",".to_string()),
+                Just(":".to_string()),
+                Just("\"k\"".to_string()),
+                Just("\"".to_string()),
+                Just("\\u12".to_string()),
+                Just("null".to_string()),
+                Just("true".to_string()),
+                Just("-1.5e3".to_string()),
+                Just("0".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = parts.join("");
+        let _ = parse_json(&src);
+    }
+
+    /// Mutating one byte of a valid export never panics: the document
+    /// either still parses or reports a typed offset-carrying error.
+    #[test]
+    fn mutated_exports_never_panic(idx in 0usize..4096, replacement in "[ -~]{1,1}") {
+        let base = sample_export();
+        let mut bytes = base.into_bytes();
+        let pos = idx % bytes.len();
+        bytes[pos] = replacement.as_bytes()[0];
+        let src = String::from_utf8(bytes).unwrap();
+        match parse_json(&src) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.offset <= src.len(), "offset out of range: {e}"),
+        }
+    }
+
+    /// Valid exports with multi-byte UTF-8 strings round-trip; truncating
+    /// them anywhere (on a char boundary) stays total.
+    #[test]
+    fn unicode_truncations_stay_total(cut in 0usize..200) {
+        let src = "{\"name\": \"héllo — ∑ ✓ жизнь\", \"v\": [1, 2, 3]}";
+        let prefix: String = src.chars().take(cut).collect();
+        let _ = parse_json(&prefix);
+    }
+}
