@@ -42,7 +42,7 @@ echo "== scheduler benchmark JSON (paper_tables -- scheduler)"
 # section itself asserts batched-fused < batched-unfused < serial-fused.
 bench_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$bench_dir"' EXIT
-cargo run -q --release -p kw-bench --bin paper_tables -- scheduler profile batch_resilience out_of_core service --csv "$bench_dir" > /dev/null
+cargo run -q --release -p kw-bench --bin paper_tables -- scheduler profile batch_resilience out_of_core service arena --csv "$bench_dir" > /dev/null
 cargo run -q -p kw-examples --example bench_json_check -- "$bench_dir/BENCH_scheduler.json"
 
 echo "== batch resilience gate (examples/batch_resilience.rs)"
@@ -69,6 +69,15 @@ echo "== open-loop service gate (examples/service_check.rs)"
 # exits non-zero on any INVALID line.
 cargo run -q -p kw-examples --example service_check -- \
     "$bench_dir/BENCH_service.json" > /dev/null
+
+echo "== scratch arena gate (examples/arena_check.rs)"
+# Live-checks the arena contract on patterns (a)-(d), fused and unfused:
+# exactly one Alloc/Free span per plan, high-water <= reservation, zero
+# spills, tracker peak bit-equal to the admission reservation; then
+# schema-validates the campaign's BENCH_arena.json row by row; exits
+# non-zero on any INVALID line.
+cargo run -q --release -p kw-examples --example arena_check -- \
+    "$bench_dir/BENCH_arena.json" > /dev/null
 
 echo "== observability schema validation (examples/profile.rs)"
 # Prints the bottleneck profile and Prometheus export for a staged run and

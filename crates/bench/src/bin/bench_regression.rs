@@ -18,8 +18,10 @@
 //! * structural integers (`queries`, `tuples_per_query`, `arrivals`,
 //!   `completed`, cache counters, seeds) and every string (bottleneck
 //!   classifications!) must match exactly;
-//! * failure counts (`quarantined`, `failed`, `cache_evictions`) are
-//!   lower-is-better;
+//! * failure counts (`quarantined`, `failed`, `cache_evictions`) and
+//!   arena churn (`*_alloc_spans`, `*_free_spans`, `spills`) are
+//!   lower-is-better; arena byte envelopes and sub-allocation counts are
+//!   exact;
 //! * all other numbers are two-sided: any relative drift beyond
 //!   `tolerance` fails, in either direction.
 //!
@@ -160,6 +162,16 @@ fn direction(path: &str) -> Direction {
     if leaf == "quarantined" || leaf == "failed" || leaf == "cache_evictions" {
         return Direction::LowerIsBetter;
     }
+    // Scratch-arena churn: alloc/free span counts and reservation spills
+    // are the churn the arena exists to remove — they may shrink but never
+    // grow past the committed O(1) baseline.
+    if leaf.ends_with("_alloc_spans") || leaf.ends_with("_free_spans") || leaf == "spills" {
+        return Direction::LowerIsBetter;
+    }
+    // The device alloc/free round trips the arena absorbed may not shrink.
+    if leaf == "saved_alloc_pairs" {
+        return Direction::HigherIsBetter;
+    }
     if leaf == "queries"
         || leaf == "tuples_per_query"
         || leaf == "tuples_per_input"
@@ -173,6 +185,10 @@ fn direction(path: &str) -> Direction {
         || leaf == "cache_hits"
         || leaf == "cache_misses"
         || leaf == "seed"
+        || leaf == "fused_sub_allocs"
+        || leaf == "unfused_sub_allocs"
+        || leaf == "reservation_bytes"
+        || leaf == "high_water_bytes"
     {
         return Direction::Exact;
     }
@@ -415,6 +431,42 @@ mod tests {
             "{\"total_p99_seconds\": null}"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn arena_metrics_have_typed_directions() {
+        // Span counts may shrink but never grow past the O(1) baseline...
+        assert!(diff("{\"fused_alloc_spans\": 1}", "{\"fused_alloc_spans\": 1}").is_empty());
+        assert_eq!(
+            diff("{\"fused_alloc_spans\": 1}", "{\"fused_alloc_spans\": 7}").len(),
+            1
+        );
+        assert_eq!(
+            diff("{\"unfused_free_spans\": 1}", "{\"unfused_free_spans\": 2}").len(),
+            1
+        );
+        // ...spills may not appear...
+        assert!(diff("{\"spills\": 1}", "{\"spills\": 0}").is_empty());
+        assert_eq!(diff("{\"spills\": 0}", "{\"spills\": 1}").len(), 1);
+        // ...absorbed churn may not shrink...
+        assert!(diff("{\"saved_alloc_pairs\": 5}", "{\"saved_alloc_pairs\": 6}").is_empty());
+        assert_eq!(
+            diff("{\"saved_alloc_pairs\": 5}", "{\"saved_alloc_pairs\": 4}").len(),
+            1
+        );
+        // ...and the byte envelopes and sub-allocation counts are exact.
+        for key in [
+            "fused_sub_allocs",
+            "unfused_sub_allocs",
+            "reservation_bytes",
+            "high_water_bytes",
+        ] {
+            assert_eq!(
+                diff(&format!("{{\"{key}\": 96}}"), &format!("{{\"{key}\": 95}}")).len(),
+                1,
+                "{key} must be exact"
+            );
+        }
     }
 
     #[test]

@@ -12,9 +12,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use kw_bench::experiments::{
-    ablations, batch_resilience, capacity, density, fig04, fig16, fig17, fig18, fig19, fig20,
-    fig21, out_of_core, overlap, platforms, profile, queries, robustness, scheduler, service,
-    table2, table3, trace,
+    ablations, arena, batch_resilience, capacity, density, fig04, fig16, fig17, fig18, fig19,
+    fig20, fig21, out_of_core, overlap, platforms, profile, queries, robustness, scheduler,
+    service, table2, table3, trace,
 };
 
 fn main() {
@@ -984,6 +984,80 @@ fn main() {
                         r.fused_seconds,
                         r.unfused_seconds,
                         r.fusion_gain
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!();
+    });
+
+    run(&["arena"], &|| {
+        section("Scratch arena: alloc churn removed from fused/unfused pipelines");
+        let n = 1 << 14;
+        println!("  {n} tuples/input; every buffer routed through one upfront");
+        println!("  reservation — Alloc/Free spans stay O(1) per plan\n");
+        println!(
+            "{:>6}  {:>11}  {:>11}  {:>9}  {:>9}  {:>12}  {:>12}  {:>6}  {:>10}  {:>10}",
+            "pat",
+            "f alloc/fr",
+            "u alloc/fr",
+            "f suball",
+            "u suball",
+            "reserved",
+            "high-water",
+            "spills",
+            "fused",
+            "unfused"
+        );
+        let rows = arena::run(n);
+        for r in &rows {
+            println!(
+                "{:>6}  {:>5}/{:<5}  {:>5}/{:<5}  {:>9}  {:>9}  {:>8} KiB  {:>8} KiB  {:>6}  {:>7.3} ms  {:>7.3} ms",
+                r.pattern,
+                r.fused_alloc_spans,
+                r.fused_free_spans,
+                r.unfused_alloc_spans,
+                r.unfused_free_spans,
+                r.fused_sub_allocs,
+                r.unfused_sub_allocs,
+                r.reservation_bytes >> 10,
+                r.high_water_bytes >> 10,
+                r.spills,
+                r.fused_seconds * 1e3,
+                r.unfused_seconds * 1e3,
+            );
+        }
+        println!("  (sub-allocations are served span-free from the reservation;");
+        println!("   each used to be a tracked device alloc/free round trip)");
+        // Machine-readable results for the CI gate, always emitted; `--csv`
+        // only redirects where they land.
+        let dir = csv_dir.clone().unwrap_or_else(|| "bench_results".into());
+        std::fs::create_dir_all(&dir).expect("create bench_results dir");
+        let path = dir.join("BENCH_arena.json");
+        let json = arena::to_json(n, &rows);
+        kw_gpu_sim::validate_json(&json).expect("arena JSON must parse");
+        std::fs::write(&path, json).expect("write BENCH_arena.json");
+        println!("  wrote {}", path.display());
+        csv(
+            "arena.csv",
+            "pattern,fused_alloc_spans,unfused_alloc_spans,fused_sub_allocs,\
+             unfused_sub_allocs,reservation_bytes,high_water_bytes,spills,\
+             fused_seconds,unfused_seconds",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},{},{},{},{},{},{},{}",
+                        r.pattern,
+                        r.fused_alloc_spans,
+                        r.unfused_alloc_spans,
+                        r.fused_sub_allocs,
+                        r.unfused_sub_allocs,
+                        r.reservation_bytes,
+                        r.high_water_bytes,
+                        r.spills,
+                        r.fused_seconds,
+                        r.unfused_seconds
                     )
                 })
                 .collect::<Vec<_>>(),

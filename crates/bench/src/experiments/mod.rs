@@ -5,6 +5,7 @@
 //! implementation. `EXPERIMENTS.md` records the paper-vs-measured numbers.
 
 pub mod ablations;
+pub mod arena;
 pub mod batch_resilience;
 pub mod capacity;
 pub mod density;

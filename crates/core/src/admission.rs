@@ -10,15 +10,19 @@
 //! with a [`ChunkStrategy`] (row-sliceable, hash-partitionable, or
 //! merge-aggregable), [`AdmittedMode::Chunked`] streaming.
 //!
-//! Predictions walk the compiled plan's buffer liveness exactly as the
-//! executor allocates — same refcounts, same gather-scratch, same
-//! release points — over *estimated* relation sizes (row-count upper
-//! estimates per operator; inputs use their actual bound sizes). Estimates
-//! can be wrong in either direction; mid-run OOM is handled by the
-//! resilient driver's re-admission, not here.
+//! Predictions replay the compiled plan's buffer schedule — same
+//! refcounts, same gather-scratch, same release points as the executor —
+//! through an unbounded [`kw_gpu_sim::ArenaLayout`] planner, over
+//! *estimated* relation sizes (row-count upper estimates per operator;
+//! inputs use their actual bound sizes). The executor sizes its scratch
+//! arena with the same replay, so the predicted peak and the arena
+//! reservation are the same number by construction; an estimate that
+//! under-shoots surfaces as a typed arena overflow (or a counted spill),
+//! handled by the resilient driver's re-admission, not here.
 
 use std::collections::BTreeMap;
 
+use kw_gpu_sim::{ArenaLayout, ArenaSlice};
 use kw_primitives::RaOp;
 use kw_relational::Relation;
 
@@ -168,16 +172,9 @@ fn node_bytes(
         .collect()
 }
 
-/// Predicted peak device bytes: a dry run of the executor's allocation
-/// sequence (upload inputs once; per step alloc gather scratch + outputs,
-/// free scratch, release dead inputs; staged mode additionally re-stages
-/// consumed intermediates and frees outputs after download).
-fn predict_peak(
-    plan: &QueryPlan,
-    compiled: &CompiledPlan,
-    bytes: &BTreeMap<NodeId, u64>,
-    mode: ExecMode,
-) -> u64 {
+/// Reference counts of the executor's buffer liveness: each step counts a
+/// unique input once; every marked plan output holds one extra reference.
+fn buffer_refcounts(plan: &QueryPlan, compiled: &CompiledPlan) -> BTreeMap<NodeId, usize> {
     let mut refcount: BTreeMap<NodeId, usize> = BTreeMap::new();
     for step in &compiled.steps {
         let mut seen = Vec::new();
@@ -191,41 +188,70 @@ fn predict_peak(
     for &o in plan.outputs() {
         *refcount.entry(o).or_insert(0) += 1;
     }
+    refcount
+}
 
-    let mut in_use: u64 = 0;
-    let mut peak: u64 = 0;
-    let mut held: BTreeMap<NodeId, u64> = BTreeMap::new();
-    let charge = |in_use: &mut u64, peak: &mut u64, b: u64| {
-        *in_use += b;
-        *peak = (*peak).max(*in_use);
-    };
+/// Predicted peak device bytes: the executor's exact acquire/release
+/// schedule (upload inputs once; per step acquire gather scratch + outputs,
+/// release scratch, release dead inputs; staged mode additionally re-stages
+/// consumed intermediates and releases outputs after download) replayed
+/// through an unbounded [`ArenaLayout`] planner.
+///
+/// The executor sizes its upfront [`kw_gpu_sim::ScratchArena`] reservation
+/// with this same replay, so the prediction and the reservation are one
+/// computation: the arena reservation *is* the predicted peak, the memory
+/// tracker charges exactly that, and any misprediction surfaces as a typed
+/// [`kw_gpu_sim::SimError::ArenaOverflow`] (or a counted spill) at the
+/// offending sub-allocation instead of a silent mid-plan OOM.
+///
+/// [`ArenaLayout`]: kw_gpu_sim::ArenaLayout
+fn predict_peak(
+    plan: &QueryPlan,
+    compiled: &CompiledPlan,
+    bytes: &BTreeMap<NodeId, u64>,
+    mode: ExecMode,
+) -> u64 {
+    replay_arena_schedule(plan, compiled, bytes, mode).unwrap_or(u64::MAX)
+}
+
+/// Replay the executor's buffer schedule through an unbounded planner
+/// layout and return its high-water mark. Fails only on byte-count
+/// overflow (pathological `Product` estimates), which [`predict_peak`]
+/// maps to "fits nothing".
+fn replay_arena_schedule(
+    plan: &QueryPlan,
+    compiled: &CompiledPlan,
+    bytes: &BTreeMap<NodeId, u64>,
+    mode: ExecMode,
+) -> std::result::Result<u64, kw_gpu_sim::SimError> {
+    let mut refcount = buffer_refcounts(plan, compiled);
+    let mut layout = ArenaLayout::planner();
+    let mut held: BTreeMap<NodeId, ArenaSlice> = BTreeMap::new();
 
     for id in plan.node_ids() {
         if matches!(plan.node(id), PlanNode::Input { .. })
             && refcount.get(&id).copied().unwrap_or(0) > 0
         {
-            charge(&mut in_use, &mut peak, bytes[&id]);
-            held.insert(id, bytes[&id]);
+            held.insert(id, layout.acquire(bytes[&id])?);
         }
     }
 
     for step in &compiled.steps {
         if mode == ExecMode::Staged {
             for &i in &step.inputs {
-                if let std::collections::btree_map::Entry::Vacant(slot) = held.entry(i) {
-                    charge(&mut in_use, &mut peak, bytes[&i]);
-                    slot.insert(bytes[&i]);
+                if let std::collections::btree_map::Entry::Vacant(e) = held.entry(i) {
+                    e.insert(layout.acquire(bytes[&i])?);
                 }
             }
         }
 
         let out_bytes: u64 = step.outputs.iter().map(|o| bytes[o]).sum();
-        charge(&mut in_use, &mut peak, out_bytes); // gather scratch
+        let scratch = layout.acquire(out_bytes)?; // gather scratch
         for &o in &step.outputs {
-            charge(&mut in_use, &mut peak, bytes[&o]);
-            held.insert(o, bytes[&o]);
+            let slice = layout.acquire(bytes[&o])?;
+            held.insert(o, slice);
         }
-        in_use -= out_bytes; // scratch freed
+        layout.release(scratch)?;
 
         let mut seen = Vec::new();
         for &i in &step.inputs {
@@ -237,21 +263,37 @@ fn predict_peak(
             *rc -= 1;
             let intermediate = !matches!(plan.node(i), PlanNode::Input { .. });
             if *rc == 0 || (mode == ExecMode::Staged && intermediate) {
-                if let Some(b) = held.remove(&i) {
-                    in_use -= b;
+                if let Some(slice) = held.remove(&i) {
+                    layout.release(slice)?;
                 }
             }
         }
 
         if mode == ExecMode::Staged {
             for &o in &step.outputs {
-                if let Some(b) = held.remove(&o) {
-                    in_use -= b;
+                if let Some(slice) = held.remove(&o) {
+                    layout.release(slice)?;
                 }
             }
         }
     }
-    peak
+    Ok(layout.high_water())
+}
+
+/// The arena reservation `execute_compiled` makes for `plan` in `mode`:
+/// [`predict_peak`] over whole-input row estimates. Admission's
+/// `resident_peak`/`staged_peak` report exactly this value, which is what
+/// makes the predictor-fidelity contract (`MemoryTracker::peak()` equals
+/// the admission peak bit-exactly) hold by construction.
+pub(crate) fn predict_reservation(
+    plan: &QueryPlan,
+    compiled: &CompiledPlan,
+    bindings: &[(&str, &Relation)],
+    mode: ExecMode,
+) -> Result<u64> {
+    let rows = estimated_rows(plan, bindings)?;
+    let whole = node_bytes(plan, &rows, 1);
+    Ok(predict_peak(plan, compiled, &whole, mode))
 }
 
 /// Choose the cheapest execution mode predicted to fit in `capacity` device

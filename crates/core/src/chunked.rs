@@ -20,7 +20,7 @@
 //! and chunk *i−1*'s download. Fusion composes with this: the fused kernel
 //! still runs per chunk, and still moves less data.
 
-use kw_gpu_sim::{Device, Direction, SimStats};
+use kw_gpu_sim::{ArenaStats, Device, Direction, ScratchArena, SimStats};
 use kw_primitives::{consumer_class, DependenceClass};
 use kw_relational::{Relation, Schema};
 
@@ -60,16 +60,22 @@ pub struct ChunkedReport {
     /// pure three-stage pipelines.
     pub pipelined_seconds: f64,
     /// Number of chunks actually executed. Fully-empty chunk slots (every
-    /// input relation of the slot empty) are skipped — they fork no scratch
-    /// device, launch no kernels and emit no spans — so this equals the
-    /// number of `chunk{i}` stream groups in the trace, not the requested
-    /// chunk count.
+    /// input relation of the slot empty) are skipped — they launch no
+    /// kernels and emit no spans — so this equals the number of `chunk{i}`
+    /// stream groups in the trace, not the requested chunk count.
     pub chunks: usize,
     /// The decomposition the executor ran.
     pub strategy: ChunkStrategy,
-    /// Largest peak device bytes any single chunk reached on its scratch
-    /// device — the footprint a real GPU would need for this schedule.
+    /// Largest footprint any single chunk actually reached on the shared
+    /// scratch device — the memory a real GPU would need for this schedule.
+    /// Also folded into the parent device's memory gauges via
+    /// [`Device::absorb_scratch_peak`].
     pub peak_device_bytes: u64,
+    /// Accounting for the run's single scratch arena: all chunks share one
+    /// reservation (the max of the per-chunk admission predictions), reset
+    /// between chunk iterations, so the whole out-of-core run costs one
+    /// alloc/free span pair. `None` only when zero chunks executed.
+    pub arena: Option<ArenaStats>,
 }
 
 /// Whether every operator of `plan` is thread-dependent (elementwise), the
@@ -239,6 +245,7 @@ struct ChunkRun {
     pipelined_seconds: f64,
     executed: usize,
     peak_device_bytes: u64,
+    arena: Option<ArenaStats>,
 }
 
 impl ChunkRun {
@@ -257,6 +264,7 @@ impl ChunkRun {
             chunks: self.executed,
             strategy,
             peak_device_bytes: self.peak_device_bytes,
+            arena: self.arena,
         }
     }
 }
@@ -300,6 +308,51 @@ fn run_chunks(
         schemas.entry(o).or_insert_with(|| plan.schema(o).clone());
     }
 
+    // One scratch fork and ONE arena serve every chunk iteration: the
+    // reservation is the max of the per-chunk admission predictions, the
+    // arena is reset between chunks, so the whole out-of-core run emits one
+    // alloc/free span pair instead of O(steps × chunks). The fork carries
+    // the parent's fault rates on a derived stream, so injected faults keep
+    // striking inside chunk execution too.
+    let mut reservation: Option<u64> = None;
+    for chunk in slots {
+        if chunk.iter().all(|(_, r)| r.is_empty()) {
+            continue;
+        }
+        let refs: Vec<(&str, &Relation)> = chunk.iter().map(|(n, r)| (*n, r)).collect();
+        let need = crate::admission::predict_reservation(plan, compiled, &refs, config.mode)?;
+        reservation = Some(reservation.unwrap_or(0).max(need));
+    }
+    let mut shared: Option<(Device, ScratchArena)> = match reservation {
+        Some(bytes) => {
+            let mut scratch = device.fork_scratch();
+            let arena = scratch.create_arena(bytes, "chunked.arena")?;
+            Some((scratch, arena))
+        }
+        None => None,
+    };
+    // Fold the fork's true high-water mark into the parent device's memory
+    // gauges whether the run lands or dies: the footprint was real either
+    // way, and the parent's `kw_*` series must report it.
+    let absorb = |device: &mut Device, shared: Option<(Device, ScratchArena)>| {
+        shared.map(|(mut scratch, arena)| {
+            let stats = scratch.release_arena(arena);
+            let stats = match stats {
+                Ok(s) => Some(s),
+                Err(fe) => {
+                    scratch.note_free_error(&fe);
+                    None
+                }
+            };
+            device.absorb_scratch_peak(scratch.memory().peak());
+            let fork_free_errors = scratch.metrics().counter("kw_free_errors_total");
+            device
+                .metrics_mut()
+                .inc("kw_free_errors_total", fork_free_errors);
+            stats
+        })
+    };
+
     let mut executed = 0usize;
     let mut peak_device_bytes = 0u64;
     let mut serialized_cycles = 0u64;
@@ -312,11 +365,22 @@ fn run_chunks(
         }
         executed += 1;
         let refs: Vec<(&str, &Relation)> = chunk.iter().map(|(n, r)| (*n, r)).collect();
-        // fork_scratch carries the parent's fault rates on a derived stream,
-        // so injected faults keep striking inside chunk execution too.
-        let mut scratch = device.fork_scratch();
-        let report = crate::execute_compiled(plan, compiled, &refs, &mut scratch, config)?;
-        peak_device_bytes = peak_device_bytes.max(scratch.memory().peak());
+        let (scratch, arena) = shared.as_mut().expect("non-empty chunk implies a fork");
+        // The scratch device accumulates over chunks; per-chunk costs are
+        // the counter deltas around this iteration.
+        let before = *scratch.stats();
+        let report = match crate::executor::execute_compiled_in_arena(
+            plan, compiled, &refs, scratch, config, arena,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                absorb(device, shared.take());
+                return Err(e);
+            }
+        };
+        arena.reset();
+        peak_device_bytes = peak_device_bytes.max(report.peak_device_bytes);
+        let delta = scratch.stats().diff(&before);
 
         let in_bytes: u64 = chunk.iter().map(|(_, r)| r.byte_size() as u64).sum();
         let out_bytes: u64 = report.outputs.values().map(|r| r.byte_size() as u64).sum();
@@ -327,9 +391,9 @@ fn run_chunks(
         // the middle pipeline stage, not to the overlappable edges — so
         // their duration folds into the compute span while their seconds
         // are surfaced separately as `residual_pcie_seconds`.
-        let residual = (report.pcie_seconds - h2d - d2h).max(0.0);
+        let residual = (delta.pcie_seconds - h2d - d2h).max(0.0);
         residual_pcie_seconds += residual;
-        let scratch_stats = *scratch.stats();
+        let scratch_stats = delta;
         let mid_cycles = scratch_stats
             .gpu_cycles
             .saturating_add(device.config().seconds_to_cycles(residual));
@@ -380,6 +444,7 @@ fn run_chunks(
             Ok(transfers) => pcie_seconds += transfers,
             Err(e) => {
                 device.sync_streams();
+                absorb(device, shared.take());
                 return Err(e.into());
             }
         }
@@ -413,6 +478,7 @@ fn run_chunks(
     let pipelined = device.config().cycles_to_seconds(end_cycles - base_cycles);
     let serialized = device.config().cycles_to_seconds(serialized_cycles);
     let gpu_seconds = device.config().cycles_to_seconds(total_gpu_cycles);
+    let arena = absorb(device, shared.take()).flatten();
 
     Ok(ChunkRun {
         outputs,
@@ -424,6 +490,7 @@ fn run_chunks(
         pipelined_seconds: pipelined,
         executed,
         peak_device_bytes,
+        arena,
     })
 }
 

@@ -21,13 +21,32 @@
 //! cost (the paper's Figure 21 "overall" metric); the overlap shows up in
 //! [`PlanReport::total_seconds`] / [`PlanReport::pipelined_seconds`].
 //!
-//! Each streaming operator allocates a gather scratch buffer alongside its
+//! Each streaming operator acquires a gather scratch buffer alongside its
 //! final outputs (compute writes scratch, gather densifies), matching the
 //! allocation behaviour behind Figure 17.
+//!
+//! # The scratch arena
+//!
+//! Every buffer a run needs — input stage-ins, staged re-stages, gather
+//! scratch, results — is a sub-allocation of one upfront [`ScratchArena`]
+//! reservation sized by the admission predictor's replay of this
+//! executor's exact acquire/release schedule
+//! (`admission::predict_reservation`). The reservation *is* the predicted
+//! peak: one `Alloc` span up front, one `Free` span at the end, O(1) per
+//! plan regardless of step or chunk count, and a fresh device's
+//! [`kw_gpu_sim::MemoryTracker::peak`] equals the admission report's peak
+//! bit-exactly by construction. A sub-allocation that exceeds the
+//! reservation means the row estimates under-shot (duplicate-heavy joins
+//! are the one under-estimating case); [`ArenaPolicy`] decides whether
+//! that spills to a real device allocation (counted in
+//! `kw_arena_spills_total`) or fails with the typed
+//! [`kw_gpu_sim::SimError::ArenaOverflow`] for the resilient ladder.
 
 use std::collections::BTreeMap;
 
-use kw_gpu_sim::{BufferId, Device, Direction, EventId, SimStats};
+use kw_gpu_sim::{
+    ArenaSlice, ArenaStats, BufferId, Device, Direction, EventId, ScratchArena, SimError, SimStats,
+};
 use kw_kernel_ir::execute as execute_op;
 use kw_relational::Relation;
 
@@ -44,6 +63,24 @@ pub enum ExecMode {
     /// Inputs exceed GPU memory; stage every operator over PCIe (the
     /// Figure 21 setup).
     Staged,
+}
+
+/// What the executor does when a sub-allocation exceeds the scratch-arena
+/// reservation — i.e. when the admission row estimates under-predicted the
+/// true footprint (join outputs beyond `max(|L|, |R|)` rows are the one
+/// under-estimating case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArenaPolicy {
+    /// Fall back to a real per-buffer device allocation for the oversized
+    /// request. Each spill emits its own alloc/free spans and increments
+    /// `kw_arena_spills_total`, so mispredictions stay loud in the trace
+    /// and metrics while the query still completes.
+    #[default]
+    Spill,
+    /// Propagate the typed [`kw_gpu_sim::SimError::ArenaOverflow`]. The
+    /// overflow is a capacity error, so under the resilient driver it
+    /// drops the run one ladder rung instead of silently OOMing mid-plan.
+    Strict,
 }
 
 /// The result of executing a plan.
@@ -72,7 +109,11 @@ pub struct PlanReport {
     pub pipelined_seconds: Option<f64>,
     /// Raw simulator counters.
     pub stats: SimStats,
-    /// Peak device global memory allocated, bytes (Figure 17).
+    /// Peak bytes of live relation data this run actually held at once
+    /// (Figure 17): arena sub-allocations plus spills plus whatever was
+    /// already resident when the run started. The arena *reservation*
+    /// (= the admission prediction) is an upper envelope of this and is
+    /// reported separately in [`PlanReport::arena`].
     pub peak_device_bytes: u64,
     /// The fusion sets the compiler chose.
     pub fusion_sets: Vec<Vec<NodeId>>,
@@ -81,6 +122,18 @@ pub struct PlanReport {
     /// How the resilient driver got here (mode chosen, retries, faults
     /// survived, degradations). `None` for direct executor calls.
     pub resilience: Option<crate::resilient::ResilienceReport>,
+    /// Scratch-arena accounting for this run: the upfront reservation, the
+    /// high-water mark actually reached (`high_water <= reservation`
+    /// always), sub-allocations served span-free, and resets (one per
+    /// chunk iteration in out-of-core runs).
+    pub arena: Option<ArenaStats>,
+    /// Count of free errors the device swallowed on drain-on-error paths
+    /// (`kw_free_errors_total`). Like [`PlanReport::stats`] this is a
+    /// device-lifetime counter; non-zero means some unwind hit accounting
+    /// corruption worth investigating.
+    pub free_errors: u64,
+    /// The first swallowed free error on the device, if any.
+    pub first_free_error: Option<String>,
     /// Structured execution trace: one span per kernel launch, PCIe
     /// transfer, allocation and fault, with operator provenance and a
     /// per-span [`SimStats`] delta. A snapshot of the device's span log at
@@ -157,6 +210,10 @@ pub fn execute_plan(
 /// Execute an already-compiled plan (lets callers inspect or reuse the
 /// compilation).
 ///
+/// Sizes the scratch-arena reservation with the admission predictor's
+/// replay for [`WeaverConfig::mode`] — the same number [`crate::admit`]
+/// reports as `resident_peak` / `staged_peak`.
+///
 /// # Errors
 ///
 /// Same conditions as [`execute_plan`].
@@ -167,50 +224,230 @@ pub fn execute_compiled(
     device: &mut Device,
     config: &WeaverConfig,
 ) -> Result<PlanReport> {
-    // Cleanup guard: `run_compiled` registers every live device buffer in
-    // `live`; any early error return would otherwise leak them (the final
-    // free loop never runs), leaving the device unusable for a retry or a
-    // degraded re-execution. Free errors during unwind are ignored — the
-    // original error is the one worth reporting.
+    let reservation = crate::admission::predict_reservation(plan, compiled, bindings, config.mode)?;
+    execute_compiled_sized(plan, compiled, bindings, device, config, reservation)
+}
+
+/// [`execute_compiled`] with an explicit arena reservation — for callers
+/// (the resilient driver, the batch scheduler) that already hold the
+/// admission peak and must guarantee the reservation equals it bit-exactly.
+pub(crate) fn execute_compiled_sized(
+    plan: &QueryPlan,
+    compiled: &CompiledPlan,
+    bindings: &[(&str, &Relation)],
+    device: &mut Device,
+    config: &WeaverConfig,
+    reservation: u64,
+) -> Result<PlanReport> {
+    // Bytes already resident before this run (a batch wave's other working
+    // sets): part of the true footprint but not of this arena.
+    let base_in_use = device.memory().in_use();
+    let mut arena = device.create_arena(reservation, "plan.arena")?;
     let mut live = LiveBuffers::default();
     let scope_depth = device.scope_depth();
-    let result = run_compiled(plan, compiled, bindings, device, config, &mut live);
-    if result.is_err() {
-        // Unwind any provenance scopes the failed run left pushed, so a
-        // retry or degraded re-execution starts with clean span labels,
-        // and drain any in-flight streamed staging so the retry's clock
-        // starts from a settled makespan.
-        device.truncate_scope(scope_depth);
-        device.sync_streams();
-        for buf in live.drain() {
-            let _ = device.free(buf);
+    let result = run_compiled(
+        plan,
+        compiled,
+        bindings,
+        device,
+        config,
+        &mut arena,
+        &mut live,
+        base_in_use,
+    );
+    match result {
+        Ok(mut report) => {
+            report.arena = Some(device.release_arena(arena)?);
+            // Refresh the span snapshot so it includes the arena's Free span.
+            report.spans = device.spans().to_vec();
+            Ok(report)
+        }
+        Err(e) => {
+            // Cleanup guard: any early error return would otherwise leak
+            // the arena and its spills, leaving the device unusable for a
+            // retry or a degraded re-execution. Unwind any provenance
+            // scopes the failed run left pushed and drain in-flight
+            // streamed staging so the retry's clock starts from a settled
+            // makespan. Arena slices need no individual release — the
+            // backing reservation goes back in one piece — and free errors
+            // during unwind are counted on the device, not propagated: the
+            // original error is the one worth reporting.
+            device.truncate_scope(scope_depth);
+            device.sync_streams();
+            for slot in live.drain() {
+                if let Slot::Spill(buf, _) = slot {
+                    if let Err(fe) = device.free(buf) {
+                        device.note_free_error(&fe);
+                    }
+                }
+            }
+            if let Err(fe) = device.release_arena(arena) {
+                device.note_free_error(&fe);
+            }
+            Err(e)
         }
     }
-    result
+}
+
+/// Execute a compiled plan inside a caller-owned arena. The chunked driver
+/// reserves one arena for a whole out-of-core run and calls this per chunk
+/// with a [`ScratchArena::reset`] in between, so the alloc/free span count
+/// stays O(1) for the entire run, not O(chunks).
+///
+/// The arena is NOT created or released here; on error it is reset (and
+/// spills freed) so the caller can retry or unwind with clean accounting.
+pub(crate) fn execute_compiled_in_arena(
+    plan: &QueryPlan,
+    compiled: &CompiledPlan,
+    bindings: &[(&str, &Relation)],
+    device: &mut Device,
+    config: &WeaverConfig,
+    arena: &mut ScratchArena,
+) -> Result<PlanReport> {
+    // The backing reservation is already charged to the device tracker;
+    // subtract it so the footprint baseline counts only foreign bytes.
+    let base_in_use = device.memory().in_use().saturating_sub(arena.reservation());
+    let mut live = LiveBuffers::default();
+    let scope_depth = device.scope_depth();
+    let result = run_compiled(
+        plan,
+        compiled,
+        bindings,
+        device,
+        config,
+        arena,
+        &mut live,
+        base_in_use,
+    );
+    match result {
+        Ok(mut report) => {
+            report.arena = Some(arena.stats());
+            Ok(report)
+        }
+        Err(e) => {
+            device.truncate_scope(scope_depth);
+            device.sync_streams();
+            for slot in live.drain() {
+                if let Slot::Spill(buf, _) = slot {
+                    if let Err(fe) = device.free(buf) {
+                        device.note_free_error(&fe);
+                    }
+                }
+            }
+            arena.reset();
+            Err(e)
+        }
+    }
+}
+
+/// One live buffer of an in-flight execution: a span-free arena slice, or
+/// a real device allocation the arena could not hold (an admission
+/// under-prediction running under [`ArenaPolicy::Spill`], with its byte
+/// size retained for footprint accounting).
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Arena(ArenaSlice),
+    Spill(BufferId, u64),
 }
 
 /// Device buffers currently owned by an in-flight execution: the per-node
-/// buffer map plus the transient gather-scratch allocation.
+/// buffer map plus the transient gather-scratch acquisition.
 #[derive(Default)]
 struct LiveBuffers {
-    by_node: BTreeMap<NodeId, BufferId>,
-    scratch: Option<BufferId>,
+    by_node: BTreeMap<NodeId, Slot>,
+    scratch: Option<Slot>,
 }
 
 impl LiveBuffers {
-    fn drain(&mut self) -> impl Iterator<Item = BufferId> {
+    fn drain(&mut self) -> impl Iterator<Item = Slot> {
         let by_node = std::mem::take(&mut self.by_node);
         by_node.into_values().chain(self.scratch.take())
     }
 }
 
+/// Running footprint accounting for one execution: bytes resident before
+/// the run started, live spill bytes, and the high-water mark of
+/// `base + arena.in_use() + spills` — the run's true Figure 17 peak, which
+/// the reservation envelope only bounds from above.
+struct Footprint {
+    base_in_use: u64,
+    spill_in_use: u64,
+    actual_peak: u64,
+}
+
+impl Footprint {
+    fn new(base_in_use: u64) -> Footprint {
+        Footprint {
+            base_in_use,
+            spill_in_use: 0,
+            actual_peak: base_in_use,
+        }
+    }
+
+    fn note(&mut self, arena: &ScratchArena) {
+        self.actual_peak = self
+            .actual_peak
+            .max(self.base_in_use + arena.in_use() + self.spill_in_use);
+    }
+}
+
+/// Sub-allocate `bytes` from the arena, spilling to a real device
+/// allocation under [`ArenaPolicy::Spill`] when the reservation is
+/// exhausted (`kw_arena_spills_total` counts every such misprediction).
+fn acquire_slot(
+    device: &mut Device,
+    arena: &mut ScratchArena,
+    fp: &mut Footprint,
+    policy: ArenaPolicy,
+    bytes: u64,
+    label: impl FnOnce() -> String,
+) -> Result<Slot> {
+    match arena.acquire(bytes) {
+        Ok(slice) => {
+            fp.note(arena);
+            Ok(Slot::Arena(slice))
+        }
+        Err(e @ SimError::ArenaOverflow { .. }) => {
+            if policy == ArenaPolicy::Strict {
+                return Err(e.into());
+            }
+            let buf = device.alloc(bytes, label())?;
+            device.metrics_mut().inc("kw_arena_spills_total", 1);
+            fp.spill_in_use += bytes;
+            fp.note(arena);
+            Ok(Slot::Spill(buf, bytes))
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Return a slot to wherever it came from.
+fn release_slot(
+    device: &mut Device,
+    arena: &mut ScratchArena,
+    fp: &mut Footprint,
+    slot: Slot,
+) -> Result<()> {
+    match slot {
+        Slot::Arena(slice) => arena.release(slice)?,
+        Slot::Spill(buf, bytes) => {
+            device.free(buf)?;
+            fp.spill_in_use -= bytes;
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_compiled(
     plan: &QueryPlan,
     compiled: &CompiledPlan,
     bindings: &[(&str, &Relation)],
     device: &mut Device,
     config: &WeaverConfig,
+    arena: &mut ScratchArena,
     live: &mut LiveBuffers,
+    base_in_use: u64,
 ) -> Result<PlanReport> {
     // Resolve input nodes to bound relations.
     let mut values: BTreeMap<NodeId, Relation> = BTreeMap::new();
@@ -233,6 +470,8 @@ fn run_compiled(
 
     // How many steps consume each node, plus one virtual consumer for plan
     // outputs (kept on device until the final transfer in resident mode).
+    // MUST mirror `admission::buffer_refcounts`: the predictor replays this
+    // exact schedule to size the arena reservation.
     let mut refcount: BTreeMap<NodeId, usize> = BTreeMap::new();
     for step in &compiled.steps {
         let mut seen = Vec::new();
@@ -246,6 +485,8 @@ fn run_compiled(
     for &o in plan.outputs() {
         *refcount.entry(o).or_insert(0) += 1;
     }
+
+    let mut fp = Footprint::new(base_in_use);
 
     // Staged mode issues its transfers on dedicated copy streams so the
     // stream scheduler — not a side formula — decides how much traffic
@@ -267,23 +508,26 @@ fn run_compiled(
             && refcount.get(&id).copied().unwrap_or(0) > 0
         {
             let rel = &values[&id];
-            let buf = device.alloc(rel.byte_size() as u64, format!("input.{id}"))?;
-            live.by_node.insert(id, buf);
+            let bytes = rel.byte_size() as u64;
+            let slot = acquire_slot(device, arena, &mut fp, config.arena, bytes, || {
+                format!("input.{id}")
+            })?;
+            live.by_node.insert(id, slot);
             if let Some((h2d, _)) = copy_streams {
-                device.transfer_on(h2d, Direction::HostToDevice, rel.byte_size() as u64)?;
+                device.transfer_on(h2d, Direction::HostToDevice, bytes)?;
                 upload_done.insert(id, device.record_event(h2d)?);
             } else {
-                device.transfer(Direction::HostToDevice, rel.byte_size() as u64)?;
+                device.transfer(Direction::HostToDevice, bytes)?;
             }
         }
     }
     device.pop_scope();
 
     for (step_idx, step) in compiled.steps.iter().enumerate() {
-        // Every span this step emits (kernels, staging transfers, scratch
-        // and result allocations) carries the operator's provenance. Fused
-        // steps keep their `fused[...]` label, so fusion candidates stay
-        // identifiable in the trace.
+        // Every span this step emits (kernels, staging transfers, faults)
+        // carries the operator's provenance. Fused steps keep their
+        // `fused[...]` label, so fusion candidates stay identifiable in the
+        // trace.
         device.push_scope(format!("step{step_idx}:{}", step.op.label));
         // Staged mode: intermediates were sent back to the host after the
         // step that produced them; re-stage the ones this step consumes.
@@ -293,15 +537,18 @@ fn run_compiled(
                     let rel = values.get(&i).ok_or_else(|| {
                         WeaverError::plan(format!("step input {i} not yet computed"))
                     })?;
-                    let buf = device.alloc(rel.byte_size() as u64, format!("staged.{i}"))?;
-                    slot.insert(buf);
+                    let bytes = rel.byte_size() as u64;
+                    let s = acquire_slot(device, arena, &mut fp, config.arena, bytes, || {
+                        format!("staged.{i}")
+                    })?;
+                    slot.insert(s);
                     // The bytes being re-staged come off the download that
                     // returned them to the host — the upload cannot start
                     // before that download has finished.
                     if let Some(&ev) = download_done.get(&i) {
                         device.wait_event(h2d, ev)?;
                     }
-                    device.transfer_on(h2d, Direction::HostToDevice, rel.byte_size() as u64)?;
+                    device.transfer_on(h2d, Direction::HostToDevice, bytes)?;
                     upload_done.insert(i, device.record_event(h2d)?);
                 }
             }
@@ -327,16 +574,21 @@ fn run_compiled(
             .collect::<Result<_>>()?;
         let result = execute_op(&step.op, &input_rels, device, config.opt)?;
 
-        // Allocate gather scratch + final output buffers.
+        // Acquire gather scratch + final output buffers.
         let out_bytes: u64 = result.outputs.iter().map(|r| r.byte_size() as u64).sum();
-        let scratch = device.alloc(out_bytes, format!("{}.scratch", step.op.label))?;
+        let scratch = acquire_slot(device, arena, &mut fp, config.arena, out_bytes, || {
+            format!("{}.scratch", step.op.label)
+        })?;
         live.scratch = Some(scratch);
         for (rel, &node) in result.outputs.iter().zip(&step.outputs) {
-            let buf = device.alloc(rel.byte_size() as u64, format!("result.{node}"))?;
-            live.by_node.insert(node, buf);
+            let bytes = rel.byte_size() as u64;
+            let slot = acquire_slot(device, arena, &mut fp, config.arena, bytes, || {
+                format!("result.{node}")
+            })?;
+            live.by_node.insert(node, slot);
         }
         live.scratch = None;
-        device.free(scratch)?;
+        release_slot(device, arena, &mut fp, scratch)?;
 
         for (rel, &node) in result.outputs.into_iter().zip(&step.outputs) {
             values.insert(node, rel);
@@ -355,8 +607,8 @@ fn run_compiled(
             let intermediate = !matches!(plan.node(i), PlanNode::Input { .. });
             let release = *rc == 0 || (config.mode == ExecMode::Staged && intermediate);
             if release {
-                if let Some(buf) = live.by_node.remove(&i) {
-                    device.free(buf)?;
+                if let Some(slot) = live.by_node.remove(&i) {
+                    release_slot(device, arena, &mut fp, slot)?;
                 }
             }
         }
@@ -373,15 +625,15 @@ fn run_compiled(
                 let bytes = values[&node].byte_size() as u64;
                 device.transfer_on(d2h, Direction::DeviceToHost, bytes)?;
                 download_done.insert(node, device.record_event(d2h)?);
-                if let Some(buf) = live.by_node.remove(&node) {
-                    device.free(buf)?;
+                if let Some(slot) = live.by_node.remove(&node) {
+                    release_slot(device, arena, &mut fp, slot)?;
                 }
             }
         }
         device.pop_scope();
     }
 
-    // Resident mode: download marked outputs. Then free whatever remains.
+    // Resident mode: download marked outputs. Then release whatever remains.
     if config.mode == ExecMode::Resident {
         device.push_scope("stage-out");
         for &o in plan.outputs() {
@@ -397,8 +649,8 @@ fn run_compiled(
     }
     let ids: Vec<NodeId> = live.by_node.keys().copied().collect();
     for id in ids {
-        let buf = live.by_node.remove(&id).expect("key exists");
-        device.free(buf)?;
+        let slot = live.by_node.remove(&id).expect("key exists");
+        release_slot(device, arena, &mut fp, slot)?;
     }
 
     let outputs: BTreeMap<NodeId, Relation> = plan
@@ -430,12 +682,13 @@ fn run_compiled(
     device
         .metrics_mut()
         .inc("kw_steps_executed_total", compiled.steps.len() as u64);
-    let profile = crate::ProfileReport::from_spans(
+    let mut profile = crate::ProfileReport::from_spans(
         device.spans(),
         device.stats(),
         device.config(),
         total_seconds,
     );
+    profile.peak_device_bytes = device.memory().peak();
 
     Ok(PlanReport {
         outputs,
@@ -445,10 +698,13 @@ fn run_compiled(
         serialized_seconds,
         pipelined_seconds,
         stats: *device.stats(),
-        peak_device_bytes: device.memory().peak(),
+        peak_device_bytes: fp.actual_peak,
         fusion_sets: compiled.fusion_sets.clone(),
         operator_count: compiled.steps.len(),
         resilience: None,
+        arena: None, // filled by the entry points once the arena settles
+        free_errors: device.metrics().counter("kw_free_errors_total"),
+        first_free_error: device.first_free_error().map(String::from),
         spans: device.spans().to_vec(),
         profile,
     })
@@ -457,7 +713,7 @@ fn run_compiled(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kw_gpu_sim::DeviceConfig;
+    use kw_gpu_sim::{DeviceConfig, SpanKind};
     use kw_primitives::RaOp;
     use kw_relational::{gen, ops, CmpOp, Predicate, Value};
 
@@ -564,6 +820,129 @@ mod tests {
         // Both modes produce identical results.
         let out = plan.outputs()[0];
         assert_eq!(fused.outputs[&out], base.outputs[&out]);
+    }
+
+    #[test]
+    fn alloc_free_spans_are_constant_per_plan() {
+        // The tentpole invariant: one Alloc (the arena reservation) and one
+        // Free (its return) regardless of plan depth or mode — per-step
+        // buffers are span-free sub-allocations.
+        let input = gen::micro_input(20_000, 5);
+        let (plan, _) = select_chain_plan(input.schema().clone());
+        for fusion in [true, false] {
+            for mode in [ExecMode::Resident, ExecMode::Staged] {
+                let config = WeaverConfig {
+                    fusion,
+                    mode,
+                    ..WeaverConfig::default()
+                };
+                let mut d = device();
+                let report = execute_plan(&plan, &[("t", &input)], &mut d, &config).unwrap();
+                let allocs = report
+                    .spans
+                    .iter()
+                    .filter(|s| s.kind == SpanKind::Alloc)
+                    .count();
+                let frees = report
+                    .spans
+                    .iter()
+                    .filter(|s| s.kind == SpanKind::Free)
+                    .count();
+                assert_eq!(
+                    (allocs, frees),
+                    (1, 1),
+                    "fusion={fusion} mode={mode:?}: spans must be O(1)"
+                );
+                let arena = report.arena.unwrap();
+                assert!(
+                    arena.sub_allocs > 1,
+                    "sub-allocations went through the arena"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reservation_is_the_tracker_peak() {
+        // Predictor fidelity at the executor level: a fresh device's
+        // tracker peak is exactly the arena reservation, which is exactly
+        // the admission prediction — they are one computation.
+        let input = gen::micro_input(30_000, 6);
+        let (plan, _) = select_chain_plan(input.schema().clone());
+        for mode in [ExecMode::Resident, ExecMode::Staged] {
+            let config = WeaverConfig {
+                mode,
+                ..WeaverConfig::default()
+            };
+            let compiled = compile(&plan, &config).unwrap();
+            let mut d = device();
+            let report =
+                execute_compiled(&plan, &compiled, &[("t", &input)], &mut d, &config).unwrap();
+            let arena = report.arena.unwrap();
+            assert_eq!(d.memory().peak(), arena.reservation, "{mode:?}");
+            assert!(arena.high_water <= arena.reservation, "{mode:?}");
+            assert_eq!(d.memory().in_use(), 0, "{mode:?}");
+            let admission = crate::admit(&plan, &compiled, &[("t", &input)], u64::MAX).unwrap();
+            let predicted = match mode {
+                ExecMode::Resident => admission.resident_peak,
+                ExecMode::Staged => admission.staged_peak,
+            };
+            assert_eq!(arena.reservation, predicted, "{mode:?}");
+        }
+    }
+
+    /// Two relations whose join key is one constant: every row matches
+    /// every row, so the true join output is quadratic while the admission
+    /// estimate stays at `max(|L|, |R|)` rows — the canonical arena
+    /// misprediction.
+    fn all_collide_inputs(nl: usize, nr: usize) -> (Relation, Relation) {
+        let schema = kw_relational::Schema::uniform_u32(2);
+        let build = |n: usize, salt: u64| {
+            let mut words = Vec::with_capacity(n * 2);
+            for i in 0..n {
+                words.push(7u64);
+                words.push((i as u64).wrapping_mul(salt) % 997);
+            }
+            Relation::from_words(schema.clone(), words).unwrap()
+        };
+        (build(nl, 13), build(nr, 31))
+    }
+
+    #[test]
+    fn strict_policy_surfaces_typed_overflow_and_spill_completes() {
+        let (l, r) = all_collide_inputs(600, 400);
+        let mut plan = QueryPlan::new();
+        let x = plan.add_input("x", l.schema().clone());
+        let y = plan.add_input("y", r.schema().clone());
+        let j = plan.add_op(RaOp::Join { key_len: 1 }, &[x, y]).unwrap();
+        plan.mark_output(j);
+        let bindings: &[(&str, &Relation)] = &[("x", &l), ("y", &r)];
+
+        // Strict: the quadratic output cannot fit the max(|L|,|R|)-sized
+        // reservation — the run dies with the typed overflow (a capacity
+        // error the ladder understands) and leaks nothing.
+        let strict = WeaverConfig {
+            arena: ArenaPolicy::Strict,
+            ..WeaverConfig::default()
+        };
+        let mut d = device();
+        let err = execute_plan(&plan, bindings, &mut d, &strict).unwrap_err();
+        assert!(err.is_capacity(), "{err}");
+        assert!(err.to_string().contains("arena overflow"), "{err}");
+        assert_eq!(d.memory().in_use(), 0, "strict failure must not leak");
+
+        // The default Spill policy completes the same query, counts the
+        // mispredictions, and matches the oracle byte-for-byte.
+        let mut d2 = device();
+        let report = execute_plan(&plan, bindings, &mut d2, &WeaverConfig::default()).unwrap();
+        let oracle = ops::join(&l, &r, 1).unwrap();
+        assert_eq!(report.outputs[&j], oracle);
+        assert!(d2.metrics().counter("kw_arena_spills_total") > 0);
+        assert_eq!(d2.memory().in_use(), 0);
+        // Spills are real allocations: the actual footprint exceeded the
+        // reservation envelope and the report says so.
+        let arena = report.arena.unwrap();
+        assert!(report.peak_device_bytes > arena.reservation);
     }
 
     #[test]

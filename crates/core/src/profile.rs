@@ -122,6 +122,13 @@ pub struct ProfileReport {
     /// Per-operator (plan) or per-query (batch) breakdown, in first-seen
     /// span order.
     pub operators: Vec<OperatorProfile>,
+    /// True device-memory high-water mark of the profiled run, bytes —
+    /// including footprint reached on forked scratch devices (chunked
+    /// execution folds it back via
+    /// [`kw_gpu_sim::Device::absorb_scratch_peak`]). Zero when the caller
+    /// had no memory tracker in scope (e.g. profiles built from bare span
+    /// logs).
+    pub peak_device_bytes: u64,
 }
 
 /// The classification rule shared by the run-level and per-operator
@@ -258,6 +265,7 @@ impl ProfileReport {
                 other_cycles,
             ),
             operators,
+            peak_device_bytes: 0,
         }
     }
 
@@ -336,6 +344,7 @@ impl ProfileReport {
             "  \"pcie_bw_utilization\": {},",
             json_f64(self.pcie_bw_utilization)
         );
+        let _ = writeln!(out, "  \"peak_device_bytes\": {},", self.peak_device_bytes);
         out.push_str("  \"operators\": [");
         for (i, op) in self.operators.iter().enumerate() {
             if i > 0 {

@@ -166,14 +166,30 @@ pub fn execute_compiled_resilient(
         device.push_scope(format!("attempt{attempts}:{mode}"));
         let result = match mode {
             AdmittedMode::Resident => {
+                // The admission report already replayed the executor's
+                // schedule; reserve exactly the peak it signed off on.
                 let mut cfg = *config;
                 cfg.mode = ExecMode::Resident;
-                crate::execute_compiled(plan, compiled, bindings, device, &cfg)
+                crate::executor::execute_compiled_sized(
+                    plan,
+                    compiled,
+                    bindings,
+                    device,
+                    &cfg,
+                    admission.resident_peak,
+                )
             }
             AdmittedMode::Staged => {
                 let mut cfg = *config;
                 cfg.mode = ExecMode::Staged;
-                crate::execute_compiled(plan, compiled, bindings, device, &cfg)
+                crate::executor::execute_compiled_sized(
+                    plan,
+                    compiled,
+                    bindings,
+                    device,
+                    &cfg,
+                    admission.staged_peak,
+                )
             }
             AdmittedMode::Chunked { chunks } => {
                 // Each chunk runs resident on its scratch device; staging
@@ -196,13 +212,19 @@ pub fn execute_compiled_resilient(
                         // (as in resident/staged runs), so recombine, and
                         // let the profiler count the residual the span log
                         // cannot carry.
-                        profile: crate::ProfileReport::from_spans_with_residual(
-                            device.spans(),
-                            device.stats(),
-                            device.config(),
-                            r.pipelined_seconds + backoff_seconds,
-                            r.residual_pcie_seconds,
-                        ),
+                        profile: {
+                            let mut p = crate::ProfileReport::from_spans_with_residual(
+                                device.spans(),
+                                device.stats(),
+                                device.config(),
+                                r.pipelined_seconds + backoff_seconds,
+                                r.residual_pcie_seconds,
+                            );
+                            // run_chunks absorbed the fork's footprint into
+                            // the parent tracker, so this is the true peak.
+                            p.peak_device_bytes = device.memory().peak();
+                            p
+                        },
                         outputs: r.outputs,
                         gpu_seconds: r.gpu_seconds,
                         pcie_seconds: r.pcie_seconds + r.residual_pcie_seconds,
@@ -214,6 +236,9 @@ pub fn execute_compiled_resilient(
                         fusion_sets: compiled.fusion_sets.clone(),
                         operator_count: compiled.steps.len(),
                         resilience: None,
+                        arena: r.arena,
+                        free_errors: device.metrics().counter("kw_free_errors_total"),
+                        first_free_error: device.first_free_error().map(String::from),
                         spans: Vec::new(),
                     }
                 })

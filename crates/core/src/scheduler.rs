@@ -198,6 +198,12 @@ pub struct BatchReport {
     /// operator row per query scope annotated with the query's outcome
     /// (see [`crate::ProfileReport`]).
     pub profile: crate::ProfileReport,
+    /// Free errors the device swallowed on quarantine/unwind paths during
+    /// this batch (`kw_free_errors_total` at batch end). Non-zero means
+    /// some drain hit accounting corruption worth investigating.
+    pub free_errors: u64,
+    /// The first swallowed free error on the device, if any.
+    pub first_free_error: Option<String>,
     /// The elastic admission verdict: wave packing, ladder routing,
     /// per-query rejections.
     pub admission: BatchWavePlan,
@@ -503,11 +509,24 @@ pub fn execute_batch_compiled_with_policy(
         if wave_of[qi].is_none() || failed[qi].is_some() {
             continue;
         }
+        // Size the scratch run's arena from the admission verdict this wave
+        // was planned with — reservation and plan are one prediction.
+        let reservation = match &admission.per_query[qi] {
+            QueryAdmission::Wave { report, .. } => report.resident_peak,
+            _ => unreachable!("phase 1 only runs wave-admitted queries"),
+        };
         loop {
             let mut cfg = *config;
             cfg.mode = ExecMode::Resident;
             let mut fork = device.fork_scratch();
-            match crate::execute_compiled(q.plan, &compiled[qi], q.bindings, &mut fork, &cfg) {
+            match crate::executor::execute_compiled_sized(
+                q.plan,
+                &compiled[qi],
+                q.bindings,
+                &mut fork,
+                &cfg,
+                reservation,
+            ) {
                 Ok(report) => {
                     let computes = step_computes(&report.spans, compiled[qi].steps.len());
                     let peak = fork.memory().peak();
@@ -752,7 +771,12 @@ pub fn execute_batch_compiled_with_policy(
                     // rest of the wave keep issuing.
                     device.sync_streams();
                     if let Some(buf) = reservations.remove(&qi) {
-                        let _ = device.free(buf);
+                        // A reservation that cannot be returned is
+                        // accounting corruption, not a reason to abort the
+                        // wave: count it and keep the first message.
+                        if let Err(fe) = device.free(buf) {
+                            device.note_free_error(&fe);
+                        }
                     }
                     failed[qi] = Some(e.to_string());
                 }
@@ -971,6 +995,7 @@ pub fn execute_batch_compiled_with_policy(
         device.config(),
         device.config().cycles_to_seconds(end_cycles),
     );
+    profile.peak_device_bytes = device.memory().peak();
     let outcome_labels: Vec<(String, String)> = queries
         .iter()
         .enumerate()
@@ -1012,6 +1037,8 @@ pub fn execute_batch_compiled_with_policy(
         engine_busy_seconds,
         engine_utilization,
         profile,
+        free_errors: device.metrics().counter("kw_free_errors_total"),
+        first_free_error: device.first_free_error().map(String::from),
         admission,
     })
 }

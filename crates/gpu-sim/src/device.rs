@@ -4,10 +4,10 @@
 //! the single place where kernel launches and PCIe transfers are charged.
 
 use crate::{
-    kernel_cost, pcie_seconds, BufferId, DeviceConfig, Direction, Engine, Event, EventId,
-    FaultConfig, FaultInjector, FaultKind, KernelCost, KernelQuantities, KernelResources,
-    LaunchDims, MemoryTracker, MetricsRegistry, Result, SimError, SimStats, Span, SpanKind,
-    StreamId, StreamModel,
+    kernel_cost, pcie_seconds, ArenaStats, BufferId, DeviceConfig, Direction, Engine, Event,
+    EventId, FaultConfig, FaultInjector, FaultKind, KernelCost, KernelQuantities, KernelResources,
+    LaunchDims, MemoryTracker, MetricsRegistry, Result, ScratchArena, SimError, SimStats, Span,
+    SpanKind, StreamId, StreamModel,
 };
 
 /// A simulated GPU.
@@ -51,6 +51,9 @@ pub struct Device {
     /// Deterministic telemetry: every recorded span publishes counters and
     /// histograms here; driver layers add their own series on top.
     metrics: MetricsRegistry,
+    /// First swallowed free error (drain-on-error paths): accounting
+    /// corruption that must surface on reports instead of vanishing.
+    first_free_error: Option<String>,
 }
 
 impl Device {
@@ -70,6 +73,7 @@ impl Device {
             reconciled: SimStats::default(),
             streams,
             metrics: MetricsRegistry::default(),
+            first_free_error: None,
         }
     }
 
@@ -326,6 +330,74 @@ impl Device {
             .set_gauge("kw_device_mem_in_use_bytes", self.memory.in_use() as f64);
         self.metrics
             .set_gauge("kw_device_mem_peak_bytes", self.memory.peak() as f64);
+    }
+
+    /// Reserve a [`ScratchArena`] of `bytes` in one backing allocation.
+    ///
+    /// This is the only `Alloc` span an arena-run plan emits: every
+    /// input/staging/scratch/result buffer inside the plan becomes a
+    /// span-free sub-allocation of the reservation, which is what drops
+    /// alloc/free span counts from O(steps × chunks) to O(1) per plan.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Device::alloc`]: [`SimError::OutOfMemory`] past
+    /// device capacity, [`SimError::AllocFault`] on an injected fault.
+    pub fn create_arena(&mut self, bytes: u64, label: impl Into<String>) -> Result<ScratchArena> {
+        let backing = self.alloc(bytes, label)?;
+        Ok(ScratchArena::new(backing, bytes))
+    }
+
+    /// Free an arena's backing reservation (the plan's single `Free`
+    /// span) and publish its accounting into the metrics registry:
+    /// `kw_arena_reservation_bytes` / `kw_arena_high_water_bytes` gauges
+    /// (high water kept monotone across arenas) and
+    /// `kw_arena_suballocs_total` / `kw_arena_resets_total` counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidBuffer`] when the backing buffer is gone
+    /// — accounting corruption, not a recoverable condition.
+    pub fn release_arena(&mut self, arena: ScratchArena) -> Result<ArenaStats> {
+        let stats = arena.stats();
+        self.free(arena.backing())?;
+        self.metrics
+            .set_gauge("kw_arena_reservation_bytes", stats.reservation as f64);
+        let hw = self
+            .metrics
+            .gauge("kw_arena_high_water_bytes")
+            .unwrap_or(0.0)
+            .max(stats.high_water as f64);
+        self.metrics.set_gauge("kw_arena_high_water_bytes", hw);
+        self.metrics
+            .inc("kw_arena_suballocs_total", stats.sub_allocs);
+        self.metrics.inc("kw_arena_resets_total", stats.resets);
+        Ok(stats)
+    }
+
+    /// Fold a scratch fork's memory peak into this device's high-water
+    /// accounting. Chunked execution runs each chunk on a forked scratch
+    /// device; the bytes it held are bytes the simulated hardware really
+    /// held, so the parent's `peak()` and `kw_device_mem_peak_bytes`
+    /// gauge must see them.
+    pub fn absorb_scratch_peak(&mut self, bytes: u64) {
+        self.memory.raise_peak(bytes);
+        self.publish_memory_gauges();
+    }
+
+    /// Count a swallowed free error from a drain-on-error path
+    /// (`kw_free_errors_total`) and retain the first one so reports can
+    /// surface it instead of silently dropping accounting corruption.
+    pub fn note_free_error(&mut self, e: &SimError) {
+        self.metrics.inc("kw_free_errors_total", 1);
+        if self.first_free_error.is_none() {
+            self.first_free_error = Some(e.to_string());
+        }
+    }
+
+    /// The first swallowed free error noted on this device, if any.
+    pub fn first_free_error(&self) -> Option<&str> {
+        self.first_free_error.as_deref()
     }
 
     /// Charge one kernel execution and record it.
@@ -730,6 +802,62 @@ mod tests {
         d.free(b).unwrap();
         assert_eq!(d.timeline().len(), 2);
         assert_eq!(d.memory().peak(), 1024);
+    }
+
+    #[test]
+    fn arena_lifecycle_is_two_spans_and_publishes_metrics() {
+        let mut d = device();
+        let mut arena = d.create_arena(4096, "plan.arena").unwrap();
+        // Sub-allocations are pure accounting: no spans, no tracker churn.
+        let a = arena.acquire(1000).unwrap();
+        let b = arena.acquire(2000).unwrap();
+        arena.release(a).unwrap();
+        arena.release(b).unwrap();
+        arena.reset();
+        let stats = d.release_arena(arena).unwrap();
+        assert_eq!(stats.reservation, 4096);
+        assert_eq!(stats.high_water, 3000);
+        assert_eq!(stats.sub_allocs, 2);
+        assert_eq!(stats.resets, 1);
+        let allocs = d
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Alloc)
+            .count();
+        let frees = d
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Free)
+            .count();
+        assert_eq!((allocs, frees), (1, 1));
+        assert_eq!(d.memory().peak(), 4096, "tracker sees only the reservation");
+        assert_eq!(d.memory().alloc_count(), 1);
+        assert_eq!(d.metrics().gauge("kw_arena_high_water_bytes"), Some(3000.0));
+        assert_eq!(d.metrics().counter("kw_arena_suballocs_total"), 2);
+        assert_eq!(d.metrics().counter("kw_arena_resets_total"), 1);
+    }
+
+    #[test]
+    fn absorb_scratch_peak_raises_parent_gauges() {
+        let mut d = device();
+        let b = d.alloc(100, "x").unwrap();
+        d.free(b).unwrap();
+        d.absorb_scratch_peak(5000);
+        assert_eq!(d.memory().peak(), 5000);
+        assert_eq!(d.metrics().gauge("kw_device_mem_peak_bytes"), Some(5000.0));
+        // Absorbing a smaller peak is a no-op (high-water semantics).
+        d.absorb_scratch_peak(10);
+        assert_eq!(d.memory().peak(), 5000);
+    }
+
+    #[test]
+    fn free_errors_are_counted_and_first_is_retained() {
+        let mut d = device();
+        assert!(d.first_free_error().is_none());
+        d.note_free_error(&SimError::InvalidBuffer { id: 7 });
+        d.note_free_error(&SimError::InvalidBuffer { id: 9 });
+        assert_eq!(d.metrics().counter("kw_free_errors_total"), 2);
+        assert!(d.first_free_error().unwrap().contains('7'));
     }
 
     #[test]

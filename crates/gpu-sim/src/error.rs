@@ -54,6 +54,20 @@ pub enum SimError {
         /// Human-readable description of the bad handle.
         detail: String,
     },
+    /// A scratch-arena sub-allocation exceeded the arena's upfront
+    /// reservation: the admission predictor under-estimated the plan's
+    /// peak. Like [`SimError::OutOfMemory`] this is a capacity miss —
+    /// recoverable by degrading to a cheaper execution mode — but it is
+    /// *loud*: the misprediction surfaces here instead of as a silent
+    /// mid-plan OOM against the whole device.
+    ArenaOverflow {
+        /// Bytes requested from the arena.
+        requested: u64,
+        /// Contiguous-insufficient bytes still unreserved in the arena.
+        free: u64,
+        /// The arena's total upfront reservation.
+        reservation: u64,
+    },
 }
 
 impl SimError {
@@ -70,7 +84,10 @@ impl SimError {
     /// Whether this is a capacity miss, recoverable by degrading to an
     /// execution mode with a smaller device footprint.
     pub fn is_capacity(&self) -> bool {
-        matches!(self, SimError::OutOfMemory { .. })
+        matches!(
+            self,
+            SimError::OutOfMemory { .. } | SimError::ArenaOverflow { .. }
+        )
     }
 }
 
@@ -104,6 +121,18 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidStream { detail } => {
                 write!(f, "invalid stream or event handle: {detail}")
+            }
+            SimError::ArenaOverflow {
+                requested,
+                free,
+                reservation,
+            } => {
+                write!(
+                    f,
+                    "scratch arena overflow: requested {requested} bytes with {free} \
+                     free of a {reservation}-byte reservation (admission under-predicted \
+                     the peak)"
+                )
             }
         }
     }
@@ -149,6 +178,13 @@ mod tests {
             detail: "stream 9".into(),
         };
         assert!(!bad_stream.is_transient() && !bad_stream.is_capacity());
+        let overflow = SimError::ArenaOverflow {
+            requested: 64,
+            free: 8,
+            reservation: 32,
+        };
+        assert!(!overflow.is_transient());
+        assert!(overflow.is_capacity());
         assert!(!SimError::InfeasibleLaunch {
             detail: String::new()
         }

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod config;
 mod cost;
 mod device;
@@ -43,6 +44,7 @@ mod stream;
 mod timeline;
 mod trace;
 
+pub use arena::{ArenaLayout, ArenaSlice, ArenaStats, ScratchArena};
 pub use config::DeviceConfig;
 pub use cost::{kernel_cost, KernelCost, KernelQuantities, KernelResources, LaunchDims};
 pub use device::Device;

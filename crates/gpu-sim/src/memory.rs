@@ -139,6 +139,14 @@ impl MemoryTracker {
         self.peak
     }
 
+    /// Fold an externally-observed high-water mark into this tracker's
+    /// peak. Chunked execution holds its working set on a forked scratch
+    /// device; the parent tracker must still report the true footprint
+    /// (see [`crate::Device::absorb_scratch_peak`]).
+    pub(crate) fn raise_peak(&mut self, bytes: u64) {
+        self.peak = self.peak.max(bytes);
+    }
+
     /// Total bytes ever allocated (ignoring frees).
     pub fn total_allocated(&self) -> u64 {
         self.total_allocated

@@ -235,7 +235,7 @@ fn faulty_degraded_run_completes_with_identical_outputs() {
 
     let mut dev = Device::new(DeviceConfig::tiny());
     dev.inject_faults(FaultConfig {
-        seed: 0xFA17,
+        seed: 0xFA18,
         transfer_rate: 0.10,
         launch_rate: 0.10,
         ..FaultConfig::default()
